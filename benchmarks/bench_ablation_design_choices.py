@@ -1,0 +1,63 @@
+"""Extra ablations for the design choices DESIGN.md §4 calls out, beyond the
+paper's Figures 22-23: the prior budget split B' (choice 4), the Algorithm 4
+query/index-selection policies (choices 5-6), and the extension knobs
+(episode query selection, Boltzmann selection, RAVE blending).
+
+Run on TPC-H, K=10, mid-grid budget — small enough to sweep many variants.
+"""
+
+from conftest import run_once
+
+from repro.config import MCTSConfig, TuningConstraints
+from repro.eval.metrics import mean_and_std
+from repro.tuners import MCTSTuner
+from repro.workload.candidates import CandidateGenerator
+
+VARIANTS: dict[str, MCTSConfig] = {
+    "paper_default": MCTSConfig(),
+    "prior_budget_25pct": MCTSConfig(prior_budget_fraction=0.25),
+    "prior_budget_75pct": MCTSConfig(prior_budget_fraction=0.75),
+    "priors_cost_prop_queries": MCTSConfig(prior_query_selection="cost_proportional"),
+    "priors_uniform_indexes": MCTSConfig(prior_index_selection="uniform"),
+    "episode_uniform": MCTSConfig(episode_query_selection="uniform"),
+    "episode_round_robin": MCTSConfig(episode_query_selection="round_robin"),
+    "boltzmann_selection": MCTSConfig(selection_policy="boltzmann"),
+    "rave_30pct": MCTSConfig(rave_weight=0.3),
+    "hybrid_extraction": MCTSConfig(hybrid_extraction=True),
+}
+
+
+def _sweep(settings):
+    workload = settings.workload("tpch")
+    candidates = CandidateGenerator(workload.schema).for_workload(workload)
+    budget = settings.budgets_for("tpch")[2]  # mid-grid point
+    constraints = TuningConstraints(max_indexes=10)
+    seeds = settings.seed_list()
+
+    lines = [
+        f"Design-choice ablation: tpch, K=10, B={budget} "
+        f"({len(seeds)} seeds)",
+        f"  {'variant':28s} {'improve%':>9s} {'std':>6s}",
+    ]
+    results = {}
+    for label, config in VARIANTS.items():
+        improvements = []
+        for seed in seeds:
+            result = MCTSTuner(config=config, seed=seed).tune(
+                workload, budget=budget, constraints=constraints,
+                candidates=candidates,
+            )
+            improvements.append(result.true_improvement())
+        mean, std = mean_and_std(improvements)
+        results[label] = mean
+        lines.append(f"  {label:28s} {mean:9.1f} {std:6.1f}")
+    return results, "\n".join(lines)
+
+
+def test_ablation_design_choices(benchmark, settings, archive):
+    results, text = run_once(benchmark, lambda: _sweep(settings))
+    archive("ablation_design_choices", text)
+    assert set(results) == set(VARIANTS)
+    # Every variant must find some improvement; the defaults should not be
+    # catastrophically beaten by any single knob change.
+    assert all(value >= 0 for value in results.values())

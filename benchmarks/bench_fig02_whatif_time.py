@@ -1,0 +1,14 @@
+"""E-F2 — Figure 2: what-if calls dominate TPC-DS tuning time (K=20)."""
+
+from conftest import run_once
+
+from repro.eval.experiments import figure2_whatif_time
+
+
+def test_fig02_whatif_time(benchmark, settings, archive):
+    rows, text = run_once(benchmark, lambda: figure2_whatif_time(settings))
+    archive("fig02_whatif_time", text)
+    # The what-if share grows toward the paper's 75-93% band with budget.
+    fractions = [breakdown.whatif_fraction for _, breakdown in rows]
+    assert fractions == sorted(fractions)
+    assert len(rows) == 5

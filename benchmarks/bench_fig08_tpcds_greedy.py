@@ -1,0 +1,14 @@
+"""E-F8 — Figure 8: TPC-DS — budget-aware greedy variants vs MCTS."""
+
+from conftest import run_once
+
+from repro.eval.experiments import greedy_comparison
+
+
+def test_fig08_tpcds_greedy(benchmark, settings, archive):
+    records, text = run_once(benchmark, lambda: greedy_comparison("tpcds", settings))
+    archive("fig08_tpcds_greedy", text)
+    assert records, "experiment produced no records"
+    tuners = {record.tuner for record in records}
+    assert "mcts" in tuners or any("greedy" in t or "prior" in t or "uct" in t for t in tuners)
+    assert all(record.calls_used <= record.budget for record in records)

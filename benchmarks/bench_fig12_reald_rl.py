@@ -1,0 +1,14 @@
+"""E-F12 — Figure 12: Real-D — existing RL approaches vs MCTS."""
+
+from conftest import run_once
+
+from repro.eval.experiments import rl_comparison
+
+
+def test_fig12_reald_rl(benchmark, settings, archive):
+    records, text = run_once(benchmark, lambda: rl_comparison("real_d", settings))
+    archive("fig12_reald_rl", text)
+    assert records, "experiment produced no records"
+    tuners = {record.tuner for record in records}
+    assert "mcts" in tuners or any("greedy" in t or "prior" in t or "uct" in t for t in tuners)
+    assert all(record.calls_used <= record.budget for record in records)

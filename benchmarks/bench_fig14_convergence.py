@@ -1,0 +1,24 @@
+"""E-F14 — Figure 14: per-round convergence of DBA bandits / No DBA vs MCTS
+on the three large workloads (K as in the paper's panels)."""
+
+import pytest
+from conftest import run_once
+
+from repro.eval.experiments import convergence
+
+
+@pytest.mark.parametrize(
+    "workload,k",
+    [("tpcds", 10), ("real_d", 10), ("real_m", 20)],
+    ids=["tpcds_k10", "reald_k10", "realm_k20"],
+)
+def test_fig14_convergence(benchmark, settings, archive, workload, k):
+    series, text = run_once(
+        benchmark, lambda: convergence(workload, max_indexes=k, settings=settings)
+    )
+    archive(f"fig14_convergence_{workload}", text)
+    assert set(series) == {"dba_bandits", "no_dba", "mcts"}
+    for points in series.values():
+        assert points, "every algorithm reports at least one round"
+        values = [improvement for _, improvement in points]
+        assert values == sorted(values)  # best-so-far is monotone

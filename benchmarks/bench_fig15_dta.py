@@ -1,0 +1,20 @@
+"""E-F15 — Figure 15: MCTS vs DTA on the large workloads, with and without
+the storage constraint (3x database size, DTA's default)."""
+
+import pytest
+from conftest import run_once
+
+from repro.eval.experiments import dta_comparison
+
+
+@pytest.mark.parametrize("workload", ["tpcds", "real_d", "real_m"])
+@pytest.mark.parametrize("sc", [True, False], ids=["with_sc", "without_sc"])
+def test_fig15_dta(benchmark, settings, archive, workload, sc):
+    records, text = run_once(
+        benchmark,
+        lambda: dta_comparison(workload, settings, storage_constraint=sc),
+    )
+    suffix = "sc" if sc else "nosc"
+    archive(f"fig15_dta_{workload}_{suffix}", text)
+    assert {record.tuner for record in records} == {"dta", "mcts"}
+    assert all(record.calls_used <= record.budget for record in records)

@@ -1,0 +1,14 @@
+"""E-F19 — Figure 19: TPC-H — existing RL approaches vs MCTS."""
+
+from conftest import run_once
+
+from repro.eval.experiments import rl_comparison
+
+
+def test_fig19_tpch_rl(benchmark, settings, archive):
+    records, text = run_once(benchmark, lambda: rl_comparison("tpch", settings))
+    archive("fig19_tpch_rl", text)
+    assert records, "experiment produced no records"
+    tuners = {record.tuner for record in records}
+    assert "mcts" in tuners or any("greedy" in t or "prior" in t or "uct" in t for t in tuners)
+    assert all(record.calls_used <= record.budget for record in records)

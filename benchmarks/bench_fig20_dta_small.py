@@ -1,0 +1,25 @@
+"""E-F20 — Figure 20: MCTS vs DTA on JOB and TPC-H.
+
+The paper runs JOB without the storage constraint only (DTA errored under
+SC on JOB) and TPC-H both with and without it — mirrored here.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.eval.experiments import dta_comparison
+
+
+@pytest.mark.parametrize(
+    "workload,sc",
+    [("job", False), ("tpch", True), ("tpch", False)],
+    ids=["job_nosc", "tpch_sc", "tpch_nosc"],
+)
+def test_fig20_dta_small(benchmark, settings, archive, workload, sc):
+    records, text = run_once(
+        benchmark,
+        lambda: dta_comparison(workload, settings, storage_constraint=sc),
+    )
+    suffix = "sc" if sc else "nosc"
+    archive(f"fig20_dta_{workload}_{suffix}", text)
+    assert {record.tuner for record in records} == {"dta", "mcts"}

@@ -1,0 +1,16 @@
+"""E-F21 — Figure 21: convergence of the RL baselines on JOB and TPC-H
+(B=1000 in the paper; scaled by REPRO_SCALE), K=10."""
+
+import pytest
+from conftest import run_once
+
+from repro.eval.experiments import convergence
+
+
+@pytest.mark.parametrize("workload", ["job", "tpch"])
+def test_fig21_convergence_small(benchmark, settings, archive, workload):
+    series, text = run_once(
+        benchmark, lambda: convergence(workload, max_indexes=10, settings=settings)
+    )
+    archive(f"fig21_convergence_{workload}", text)
+    assert set(series) == {"dba_bandits", "no_dba", "mcts"}

@@ -1,0 +1,27 @@
+"""E-F22 — Figure 22: MCTS policy ablation with the myopic (fixed step 0)
+rollout: UCT vs prior-seeded ε-greedy, BCE vs BG extraction.
+
+The paper runs all five workloads; the bench sweeps the same grid per
+workload (parametrised so individual panels can be selected with -k).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.eval.experiments import ablation
+
+WORKLOADS = ["job", "tpch", "tpcds", "real_d", "real_m"]
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_fig22_ablation_fixed(benchmark, settings, archive, workload):
+    records, text = run_once(
+        benchmark, lambda: ablation(workload, "myopic", settings)
+    )
+    archive(f"fig22_ablation_fixed_{workload}", text)
+    assert {record.tuner for record in records} == {
+        "uct_only",
+        "uct_greedy",
+        "prior_only",
+        "prior_greedy",
+    }

@@ -1,0 +1,23 @@
+"""E-F23 — Figure 23: MCTS policy ablation with the randomized-step rollout
+(uniform look-ahead in {0..K−d}), same four policy combinations."""
+
+import pytest
+from conftest import run_once
+
+from repro.eval.experiments import ablation
+
+WORKLOADS = ["job", "tpch", "tpcds", "real_d", "real_m"]
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_fig23_ablation_random(benchmark, settings, archive, workload):
+    records, text = run_once(
+        benchmark, lambda: ablation(workload, "random", settings)
+    )
+    archive(f"fig23_ablation_random_{workload}", text)
+    assert {record.tuner for record in records} == {
+        "uct_only",
+        "uct_greedy",
+        "prior_only",
+        "prior_greedy",
+    }

@@ -1,0 +1,11 @@
+"""E-T1 — Table 1: database and workload statistics for all five workloads."""
+
+from conftest import run_once
+
+from repro.eval.experiments import table1_workload_statistics
+
+
+def test_table1_workload_statistics(benchmark, settings, archive):
+    text = run_once(benchmark, lambda: table1_workload_statistics(settings))
+    archive("table1_workloads", text)
+    assert "tpcds" in text

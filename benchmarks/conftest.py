@@ -1,0 +1,43 @@
+"""Shared benchmark plumbing.
+
+Every bench target runs one paper experiment exactly once (wall-clock is
+reported by pytest-benchmark), prints the paper-style report, and archives
+it under ``benchmarks/reports/`` so EXPERIMENTS.md can reference the rows.
+
+Scaling knobs (environment):
+    REPRO_SCALE  budget multiplier (default 0.1; 1 = the paper's grids)
+    REPRO_SEEDS  seeds for stochastic algorithms (default 3; paper uses 5)
+    REPRO_KS     cardinality grid (default "5,10,20")
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.eval.experiments import ExperimentSettings
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    return ExperimentSettings.from_env()
+
+
+@pytest.fixture(scope="session")
+def archive():
+    """Callable that archives a report under benchmarks/reports/."""
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def _archive(name: str, text: str) -> None:
+        (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _archive
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark fixture and return it."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

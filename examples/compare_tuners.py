@@ -1,0 +1,68 @@
+"""Compare every budget-aware enumeration algorithm on one workload.
+
+Reproduces the shape of the paper's end-to-end comparison on a single
+(workload, K, B) point: the three greedy variants, the two prior RL
+baselines, the DTA simulation, and MCTS.
+
+Run:
+    python examples/compare_tuners.py [workload] [budget] [K]
+    python examples/compare_tuners.py tpcds 500 10
+"""
+
+import sys
+import time
+
+from repro import (
+    AutoAdminGreedyTuner,
+    DBABanditTuner,
+    DTATuner,
+    MCTSTuner,
+    NoDBATuner,
+    RandomSearchTuner,
+    TuningConstraints,
+    TwoPhaseGreedyTuner,
+    VanillaGreedyTuner,
+    get_workload,
+)
+from repro.workload import CandidateGenerator
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "tpch"
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 200
+    k = int(sys.argv[3]) if len(sys.argv) > 3 else 10
+
+    workload = get_workload(name, scale=0.1)
+    candidates = CandidateGenerator(workload.schema).for_workload(workload)
+    constraints = TuningConstraints(max_indexes=k)
+    print(
+        f"{workload.name}: {len(workload)} queries, {len(candidates)} candidate "
+        f"indexes, budget B={budget}, K={k}\n"
+    )
+
+    tuners = [
+        VanillaGreedyTuner(),
+        TwoPhaseGreedyTuner(),
+        AutoAdminGreedyTuner(),
+        DBABanditTuner(seed=0),
+        NoDBATuner(seed=0, max_episodes=30),
+        DTATuner(),
+        RandomSearchTuner(seed=0),
+        MCTSTuner(seed=0),
+    ]
+    print(f"{'algorithm':20s} {'improve%':>9s} {'calls':>6s} {'|C|':>4s} {'sec':>6s}")
+    print("-" * 50)
+    for tuner in tuners:
+        start = time.perf_counter()
+        result = tuner.tune(
+            workload, budget=budget, constraints=constraints, candidates=candidates
+        )
+        elapsed = time.perf_counter() - start
+        print(
+            f"{tuner.name:20s} {result.true_improvement():9.1f} "
+            f"{result.calls_used:6d} {len(result.configuration):4d} {elapsed:6.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

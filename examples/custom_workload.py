@@ -1,0 +1,94 @@
+"""Tune your own schema and SQL — the downstream-user path end to end.
+
+Builds a small order-management schema with the fluent builder, writes a
+few SQL statements by hand, inspects the hypothetical plans before/after,
+and tunes under a tight budget.
+
+Run:
+    python examples/custom_workload.py
+"""
+
+from repro import (
+    ColumnType,
+    MCTSTuner,
+    Query,
+    SchemaBuilder,
+    TuningConstraints,
+    WhatIfOptimizer,
+    Workload,
+)
+
+
+def build_schema():
+    return (
+        SchemaBuilder("shop")
+        .table("customers", rows=200_000)
+        .column("customer_id", distinct=200_000)
+        .column("region", ColumnType.VARCHAR, distinct=12)
+        .column("signup_day", ColumnType.DATE, distinct=2_000, lo=0, hi=2_000)
+        .table("orders", rows=5_000_000)
+        .column("order_id", distinct=5_000_000)
+        .column("customer_id", distinct=200_000)
+        .column("status", ColumnType.CHAR, distinct=4)
+        .column("total", ColumnType.DECIMAL, distinct=100_000, lo=0, hi=10_000)
+        .column("order_day", ColumnType.DATE, distinct=2_000, lo=0, hi=2_000)
+        .table("order_items", rows=25_000_000)
+        .column("order_id", distinct=5_000_000)
+        .column("product_id", distinct=50_000)
+        .column("quantity", distinct=20, lo=1, hi=20)
+        .column("price", ColumnType.DECIMAL, distinct=30_000, lo=0, hi=2_000)
+        .foreign_key("orders", "customer_id", "customers", "customer_id")
+        .foreign_key("order_items", "order_id", "orders", "order_id")
+        .build()
+    )
+
+
+SQL = {
+    "recent_big_orders": """
+        SELECT order_id, total FROM orders
+        WHERE order_day > 1900 AND total > 5000
+    """,
+    "region_revenue": """
+        SELECT customers.region, SUM(order_items.price)
+        FROM customers, orders, order_items
+        WHERE orders.customer_id = customers.customer_id
+          AND order_items.order_id = orders.order_id
+          AND orders.status = 'P'
+        GROUP BY customers.region
+    """,
+    "customer_history": """
+        SELECT orders.order_id, orders.total FROM orders, customers
+        WHERE orders.customer_id = customers.customer_id
+          AND customers.customer_id = 4242
+        ORDER BY orders.order_day DESC
+    """,
+}
+
+
+def main() -> None:
+    schema = build_schema()
+    queries = [Query(qid=name, sql=sql.strip()) for name, sql in SQL.items()]
+    workload = Workload(name="shop", schema=schema, queries=queries)
+
+    tuner = MCTSTuner(seed=0)
+    result = tuner.tune(
+        workload, budget=60, constraints=TuningConstraints(max_indexes=4)
+    )
+
+    print(f"improvement: {result.true_improvement():.1f}% "
+          f"({result.calls_used} what-if calls)\n")
+    print("recommended indexes:")
+    for index in sorted(result.configuration, key=lambda ix: ix.display()):
+        print(f"  {index.display()}")
+
+    # Show before/after plans for one query via the what-if interface.
+    optimizer = WhatIfOptimizer(workload)
+    target = workload.query("customer_history")
+    print("\n--- plan without indexes ---")
+    print(optimizer.explain(target, frozenset()).render())
+    print("\n--- plan with recommended configuration ---")
+    print(optimizer.explain(target, result.configuration).render())
+
+
+if __name__ == "__main__":
+    main()

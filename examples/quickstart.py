@@ -1,0 +1,31 @@
+"""Quickstart: tune TPC-H with the MCTS tuner under a what-if budget.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import MCTSTuner, TuningConstraints, get_workload
+
+
+def main() -> None:
+    workload = get_workload("tpch")
+    print(f"workload: {workload.name} — {len(workload)} queries, "
+          f"{len(workload.schema.tables)} tables")
+
+    tuner = MCTSTuner(seed=0)
+    result = tuner.tune(
+        workload,
+        budget=300,  # counted what-if optimizer calls
+        constraints=TuningConstraints(max_indexes=10),
+    )
+
+    print(f"\nwhat-if calls used: {result.calls_used} / {result.budget}")
+    print(f"workload improvement: {result.true_improvement():.1f}%")
+    print(f"\nrecommended configuration ({len(result.configuration)} indexes):")
+    for index in sorted(result.configuration, key=lambda ix: ix.display()):
+        megabytes = index.estimated_size_bytes / 1e6
+        print(f"  CREATE INDEX ON {index.display():60s} -- ~{megabytes:,.0f} MB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Tuning under a storage constraint (Section 7.3's SC experiments).
+
+Sweeps the storage cap from very tight to generous and shows how the
+recommended configuration and its improvement respond — more storage lets
+the tuner keep wide covering indexes (the paper: "increasing the storage
+space in general allows our approach to find better configurations").
+
+Run:
+    python examples/storage_constraint.py
+"""
+
+from repro import MCTSTuner, TuningConstraints, get_workload
+from repro.workload import CandidateGenerator
+
+
+def main() -> None:
+    workload = get_workload("tpch")
+    candidates = CandidateGenerator(workload.schema).for_workload(workload)
+    db_bytes = workload.schema.total_size_bytes
+    print(f"{workload.name}: database size ~{db_bytes / 1e9:.1f} GB\n")
+
+    caps = [0.02, 0.05, 0.1, 0.5, 1.0, 3.0]  # fraction of database size
+    print(f"{'storage cap':>12s} {'improve%':>9s} {'#idx':>5s} {'index GB':>9s}")
+    for fraction in caps:
+        cap_bytes = int(db_bytes * fraction)
+        constraints = TuningConstraints(max_indexes=10, max_storage_bytes=cap_bytes)
+        result = MCTSTuner(seed=0).tune(
+            workload, budget=300, constraints=constraints, candidates=candidates
+        )
+        used = sum(ix.estimated_size_bytes for ix in result.configuration)
+        assert used <= cap_bytes
+        print(
+            f"{fraction:10.2f}x {result.true_improvement():9.1f} "
+            f"{len(result.configuration):5d} {used / 1e9:9.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Production-style tuning: compress a large workload, tune under a
+wall-clock budget.
+
+Mirrors how a DTA-style tool would drive the library: the operator specifies
+minutes, the library maps them to a what-if call budget (Section 8's
+proposed mapping); workload compression (footnote 5) shrinks a 99-query
+workload to a handful of weighted representatives first, making the
+budget go further.
+
+Run:
+    python examples/time_budget_and_compression.py
+"""
+
+from repro import (
+    MCTSTuner,
+    TimeBudgetedTuner,
+    TuningConstraints,
+    WhatIfOptimizer,
+    WorkloadCompressor,
+    get_workload,
+)
+from repro.eval.timemodel import WhatIfTimeModel
+
+
+def main() -> None:
+    workload = get_workload("tpcds")
+    model = WhatIfTimeModel(workload)
+    minutes = 12.0
+    print(
+        f"{workload.name}: {len(workload)} queries, "
+        f"~{model.mean_call_seconds:.2f}s per what-if call, "
+        f"time budget {minutes:.0f} min"
+    )
+
+    constraints = TuningConstraints(max_indexes=10)
+    adapter = TimeBudgetedTuner(MCTSTuner(seed=0), time_model=model)
+
+    # Tune the full workload under the time budget.
+    direct = adapter.tune_for_minutes(workload, minutes, constraints=constraints)
+    print(
+        f"\nfull workload:      budget={direct.budget} calls, "
+        f"improvement={direct.true_improvement():.1f}%"
+    )
+
+    # Compress first, then tune the representatives with the same budget.
+    compressed = WorkloadCompressor(target_queries=20).compress(workload)
+    compressed_adapter = TimeBudgetedTuner(MCTSTuner(seed=0))
+    result = compressed_adapter.tune_for_minutes(
+        compressed, minutes, constraints=constraints
+    )
+    # Evaluate the compressed recommendation against the FULL workload.
+    evaluator = WhatIfOptimizer(workload)
+    baseline = evaluator.empty_workload_cost()
+    cost = evaluator.true_workload_cost(result.configuration)
+    transferred = (1 - cost / baseline) * 100
+    print(
+        f"compressed (20 q):  budget={result.budget} calls, "
+        f"improvement on full workload={transferred:.1f}%"
+    )
+    print(
+        f"\n(compression trades a little quality for a {len(workload)}->"
+        f"{len(compressed)} reduction in per-round evaluation cost)"
+    )
+
+
+if __name__ == "__main__":
+    main()

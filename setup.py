@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` requires PEP 660 editable-wheel support which in turn
+needs ``wheel``; on fully-offline boxes ``python setup.py develop`` provides
+the same editable install through setuptools' legacy path.
+"""
+
+from setuptools import setup
+
+setup()

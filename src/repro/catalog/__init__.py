@@ -1,0 +1,26 @@
+"""Database catalog substrate: schemas, statistics and (hypothetical) indexes.
+
+The tuner never reads table data — like a real what-if optimizer it works
+purely from the catalog: table cardinalities, column statistics and index
+metadata. This package provides those objects plus a fluent builder used by
+the benchmark-workload definitions.
+"""
+
+from repro.catalog.column import Column, ColumnStats, ColumnType
+from repro.catalog.table import Table
+from repro.catalog.keys import ForeignKey
+from repro.catalog.schema import Schema
+from repro.catalog.index import Index, index_storage_bytes
+from repro.catalog.builder import SchemaBuilder
+
+__all__ = [
+    "Column",
+    "ColumnStats",
+    "ColumnType",
+    "ForeignKey",
+    "Index",
+    "Schema",
+    "SchemaBuilder",
+    "Table",
+    "index_storage_bytes",
+]

@@ -1,0 +1,100 @@
+"""Fluent schema builder used by workload definitions and tests.
+
+Example:
+    >>> from repro.catalog import SchemaBuilder, ColumnType
+    >>> schema = (
+    ...     SchemaBuilder("toy")
+    ...     .table("R", rows=10_000)
+    ...     .column("a", ColumnType.INTEGER, distinct=100)
+    ...     .column("b", ColumnType.INTEGER, distinct=1_000)
+    ...     .table("S", rows=50_000)
+    ...     .column("c", ColumnType.INTEGER, distinct=1_000)
+    ...     .column("d", ColumnType.INTEGER, distinct=500, lo=0, hi=1_000)
+    ...     .foreign_key("R", "b", "S", "c")
+    ...     .build()
+    ... )
+    >>> schema.table("R").row_count
+    10000
+"""
+
+from __future__ import annotations
+
+from repro.catalog.column import Column, ColumnStats, ColumnType
+from repro.catalog.keys import ForeignKey
+from repro.catalog.schema import Schema
+from repro.catalog.table import Table
+from repro.exceptions import CatalogError
+
+
+class SchemaBuilder:
+    """Incrementally assemble a :class:`~repro.catalog.Schema`."""
+
+    def __init__(self, name: str):
+        self._name = name
+        self._tables: list[tuple[str, int, list[Column]]] = []
+        self._foreign_keys: list[ForeignKey] = []
+
+    def table(self, name: str, rows: int) -> "SchemaBuilder":
+        """Start a new table; subsequent :meth:`column` calls attach to it."""
+        self._tables.append((name, rows, []))
+        return self
+
+    def column(
+        self,
+        name: str,
+        ctype: ColumnType = ColumnType.INTEGER,
+        *,
+        distinct: int | None = None,
+        lo: float = 0.0,
+        hi: float | None = None,
+        null_fraction: float = 0.0,
+        width: int | None = None,
+    ) -> "SchemaBuilder":
+        """Add a column to the most recently started table.
+
+        Args:
+            name: Column name.
+            ctype: Logical type.
+            distinct: NDV; defaults to the table's row count (a key-like
+                column) capped at 1 for empty tables.
+            lo: Domain lower bound for numeric columns.
+            hi: Domain upper bound; defaults to ``lo + distinct``.
+            null_fraction: Fraction of NULL rows.
+            width: Stored width in bytes; defaults to the type width.
+        """
+        if not self._tables:
+            raise CatalogError("column() called before any table()")
+        table_name, rows, columns = self._tables[-1]
+        ndv = distinct if distinct is not None else max(1, rows)
+        upper = hi if hi is not None else lo + max(1, ndv)
+        stats = ColumnStats(
+            distinct_count=ndv,
+            min_value=lo,
+            max_value=upper,
+            null_fraction=null_fraction,
+            avg_width=width if width is not None else ctype.default_width,
+        )
+        columns.append(Column(name=name, ctype=ctype, stats=stats))
+        return self
+
+    def foreign_key(
+        self, child_table: str, child_column: str, parent_table: str, parent_column: str
+    ) -> "SchemaBuilder":
+        """Register a foreign key edge between two already-declared tables."""
+        self._foreign_keys.append(
+            ForeignKey(
+                child_table=child_table,
+                child_column=child_column,
+                parent_table=parent_table,
+                parent_column=parent_column,
+            )
+        )
+        return self
+
+    def build(self) -> Schema:
+        """Validate and produce the immutable schema."""
+        tables = [
+            Table(name=name, columns=columns, row_count=rows)
+            for name, rows, columns in self._tables
+        ]
+        return Schema(name=self._name, tables=tables, foreign_keys=self._foreign_keys)

@@ -1,0 +1,122 @@
+"""Column metadata and statistics.
+
+Statistics follow the shape real optimizers keep per column: number of
+distinct values (NDV), a value domain ``[min_value, max_value]`` for range
+selectivity interpolation, a null fraction, and the average stored width in
+bytes (used by the index size model and by row-width estimates).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.exceptions import CatalogError
+
+
+class ColumnType(enum.Enum):
+    """Logical column types understood by the selectivity estimator."""
+
+    INTEGER = "integer"
+    BIGINT = "bigint"
+    DECIMAL = "decimal"
+    FLOAT = "float"
+    VARCHAR = "varchar"
+    CHAR = "char"
+    DATE = "date"
+    BOOLEAN = "boolean"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether range predicates can interpolate over the value domain."""
+        return self in (
+            ColumnType.INTEGER,
+            ColumnType.BIGINT,
+            ColumnType.DECIMAL,
+            ColumnType.FLOAT,
+            ColumnType.DATE,
+        )
+
+    @property
+    def default_width(self) -> int:
+        """Typical stored width in bytes for the type."""
+        return _DEFAULT_WIDTHS[self]
+
+
+_DEFAULT_WIDTHS: dict[ColumnType, int] = {
+    ColumnType.INTEGER: 4,
+    ColumnType.BIGINT: 8,
+    ColumnType.DECIMAL: 8,
+    ColumnType.FLOAT: 8,
+    ColumnType.VARCHAR: 24,
+    ColumnType.CHAR: 12,
+    ColumnType.DATE: 4,
+    ColumnType.BOOLEAN: 1,
+}
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Optimizer statistics for one column.
+
+    Attributes:
+        distinct_count: Estimated number of distinct non-null values (NDV).
+        min_value: Lower bound of the value domain (numeric types only).
+        max_value: Upper bound of the value domain (numeric types only).
+        null_fraction: Fraction of rows that are NULL, in ``[0, 1)``.
+        avg_width: Average stored width of the column in bytes.
+    """
+
+    distinct_count: int
+    min_value: float = 0.0
+    max_value: float = 1.0
+    null_fraction: float = 0.0
+    avg_width: int = 4
+
+    def __post_init__(self) -> None:
+        if self.distinct_count < 1:
+            raise CatalogError(
+                f"distinct_count must be at least 1, got {self.distinct_count}"
+            )
+        if not 0.0 <= self.null_fraction < 1.0:
+            raise CatalogError(
+                f"null_fraction must be in [0, 1), got {self.null_fraction}"
+            )
+        if self.max_value < self.min_value:
+            raise CatalogError(
+                f"max_value {self.max_value} precedes min_value {self.min_value}"
+            )
+        if self.avg_width < 1:
+            raise CatalogError(f"avg_width must be positive, got {self.avg_width}")
+
+    @property
+    def domain_span(self) -> float:
+        """Width of the value domain (0 for constant columns)."""
+        return self.max_value - self.min_value
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column with statistics.
+
+    Columns are identified by ``(table_name, name)`` throughout the library;
+    the :class:`Column` object itself is table-agnostic so definitions can be
+    shared between synthetic schema generators.
+    """
+
+    name: str
+    ctype: ColumnType = ColumnType.INTEGER
+    stats: ColumnStats = field(default_factory=lambda: ColumnStats(distinct_count=100))
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise CatalogError(f"invalid column name: {self.name!r}")
+
+    @property
+    def width(self) -> int:
+        """Stored width in bytes (statistics override the type default)."""
+        return self.stats.avg_width
+
+    def with_stats(self, stats: ColumnStats) -> "Column":
+        """Return a copy of this column with replacement statistics."""
+        return Column(name=self.name, ctype=self.ctype, stats=stats)

@@ -1,0 +1,59 @@
+"""Primary/foreign key metadata forming the schema's join graph.
+
+The query synthesiser walks this graph to produce realistic multi-join
+queries, and the selectivity estimator uses key information to recognise
+key/foreign-key joins (whose output cardinality equals the foreign side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import CatalogError
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key edge ``child.child_column -> parent.parent_column``.
+
+    Attributes:
+        child_table: Referencing (fact) table name.
+        child_column: Referencing column name.
+        parent_table: Referenced (dimension) table name.
+        parent_column: Referenced column name, assumed unique in the parent.
+    """
+
+    child_table: str
+    child_column: str
+    parent_table: str
+    parent_column: str
+
+    def __post_init__(self) -> None:
+        if self.child_table == self.parent_table:
+            raise CatalogError(
+                f"self-referencing foreign key on {self.child_table!r} is not supported"
+            )
+
+    def touches(self, table: str) -> bool:
+        """Return whether either endpoint is ``table``."""
+        return table in (self.child_table, self.parent_table)
+
+    def endpoint(self, table: str) -> tuple[str, str]:
+        """Return ``(table, column)`` for the endpoint on ``table``.
+
+        Raises:
+            CatalogError: If ``table`` is not an endpoint of this key.
+        """
+        if table == self.child_table:
+            return (self.child_table, self.child_column)
+        if table == self.parent_table:
+            return (self.parent_table, self.parent_column)
+        raise CatalogError(f"foreign key {self} does not touch table {table!r}")
+
+    def other(self, table: str) -> tuple[str, str]:
+        """Return the ``(table, column)`` endpoint opposite ``table``."""
+        if table == self.child_table:
+            return (self.parent_table, self.parent_column)
+        if table == self.parent_table:
+            return (self.child_table, self.child_column)
+        raise CatalogError(f"foreign key {self} does not touch table {table!r}")

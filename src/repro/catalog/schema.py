@@ -1,0 +1,115 @@
+"""Schema: the collection of tables and foreign keys a workload runs over."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.keys import ForeignKey
+from repro.catalog.table import Table
+from repro.exceptions import CatalogError, UnknownColumnError, UnknownTableError
+
+
+@dataclass
+class Schema:
+    """A database schema: named tables plus a foreign-key join graph.
+
+    Attributes:
+        name: Schema (database) name; used in reports.
+        tables: Table definitions.
+        foreign_keys: Foreign-key edges between the tables.
+    """
+
+    name: str
+    tables: list[Table]
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+
+    _by_name: dict[str, Table] = field(init=False, repr=False)
+    _fks_by_table: dict[str, list[ForeignKey]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._by_name = {}
+        for table in self.tables:
+            if table.name in self._by_name:
+                raise CatalogError(f"duplicate table {table.name!r} in schema")
+            self._by_name[table.name] = table
+        self._fks_by_table = {table.name: [] for table in self.tables}
+        for fk in self.foreign_keys:
+            self._validate_fk(fk)
+            self._fks_by_table[fk.child_table].append(fk)
+            self._fks_by_table[fk.parent_table].append(fk)
+
+    def _validate_fk(self, fk: ForeignKey) -> None:
+        for table_name, column_name in (
+            (fk.child_table, fk.child_column),
+            (fk.parent_table, fk.parent_column),
+        ):
+            table = self.table(table_name)
+            if not table.has_column(column_name):
+                raise UnknownColumnError(
+                    f"foreign key references missing column "
+                    f"{table_name}.{column_name}"
+                )
+
+    def table(self, name: str) -> Table:
+        """Return the table called ``name``.
+
+        Raises:
+            UnknownTableError: If the schema has no such table.
+        """
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownTableError(f"schema has no table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        """Return whether the schema defines a table called ``name``."""
+        return name in self._by_name
+
+    def column(self, table_name: str, column_name: str):
+        """Return the :class:`~repro.catalog.Column` at ``table.column``."""
+        return self.table(table_name).column(column_name)
+
+    @property
+    def table_names(self) -> list[str]:
+        """Names of all tables in definition order."""
+        return [table.name for table in self.tables]
+
+    def foreign_keys_of(self, table_name: str) -> list[ForeignKey]:
+        """All foreign-key edges touching ``table_name``."""
+        self.table(table_name)  # raise for unknown tables
+        return list(self._fks_by_table[table_name])
+
+    def joinable_neighbors(self, table_name: str) -> list[tuple[str, ForeignKey]]:
+        """Tables reachable from ``table_name`` via one foreign-key edge."""
+        return [
+            (fk.other(table_name)[0], fk) for fk in self.foreign_keys_of(table_name)
+        ]
+
+    @property
+    def total_size_bytes(self) -> int:
+        """Estimated summed heap size of all tables."""
+        return sum(table.size_bytes for table in self.tables)
+
+    def resolve_column(self, column_name: str, scope: list[str]) -> str:
+        """Find which table in ``scope`` owns an unqualified ``column_name``.
+
+        Mirrors SQL name resolution for queries that do not qualify column
+        references: the column must exist in exactly one in-scope table.
+
+        Returns:
+            The owning table's name.
+
+        Raises:
+            UnknownColumnError: If no in-scope table (or more than one) has
+                the column.
+        """
+        owners = [name for name in scope if self.table(name).has_column(column_name)]
+        if not owners:
+            raise UnknownColumnError(
+                f"column {column_name!r} not found in tables {scope}"
+            )
+        if len(owners) > 1:
+            raise UnknownColumnError(
+                f"column {column_name!r} is ambiguous among tables {owners}"
+            )
+        return owners[0]

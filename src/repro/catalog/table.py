@@ -1,0 +1,90 @@
+"""Table metadata: cardinality, row width, page count."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.column import Column
+from repro.exceptions import CatalogError, UnknownColumnError
+
+#: Bytes per storage page; matches SQL Server's 8 KiB page.
+PAGE_BYTES = 8192
+
+#: Fixed per-row storage overhead (header, null bitmap, slot entry).
+ROW_OVERHEAD_BYTES = 24
+
+
+@dataclass
+class Table:
+    """A base table with columns and cardinality statistics.
+
+    Attributes:
+        name: Table name, unique within a :class:`~repro.catalog.Schema`.
+        columns: Ordered column definitions.
+        row_count: Estimated number of rows.
+    """
+
+    name: str
+    columns: list[Column]
+    row_count: int
+
+    _by_name: dict[str, Column] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise CatalogError(f"invalid table name: {self.name!r}")
+        if self.row_count < 0:
+            raise CatalogError(f"row_count must be non-negative, got {self.row_count}")
+        if not self.columns:
+            raise CatalogError(f"table {self.name!r} must have at least one column")
+        self._by_name = {}
+        for column in self.columns:
+            if column.name in self._by_name:
+                raise CatalogError(
+                    f"duplicate column {column.name!r} in table {self.name!r}"
+                )
+            self._by_name[column.name] = column
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Table) and other.name == self.name
+
+    def column(self, name: str) -> Column:
+        """Return the column called ``name``.
+
+        Raises:
+            UnknownColumnError: If the table has no such column.
+        """
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownColumnError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        """Return whether the table defines a column called ``name``."""
+        return name in self._by_name
+
+    @property
+    def column_names(self) -> list[str]:
+        """Names of all columns in definition order."""
+        return [column.name for column in self.columns]
+
+    @property
+    def row_bytes(self) -> int:
+        """Estimated stored width of one row, including overhead."""
+        return ROW_OVERHEAD_BYTES + sum(column.width for column in self.columns)
+
+    @property
+    def pages(self) -> int:
+        """Estimated number of heap pages occupied by the table."""
+        rows_per_page = max(1, PAGE_BYTES // self.row_bytes)
+        return max(1, -(-self.row_count // rows_per_page))  # ceil division
+
+    @property
+    def size_bytes(self) -> int:
+        """Estimated total heap size in bytes."""
+        return self.pages * PAGE_BYTES

@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+    workloads               list the built-in workloads with their statistics
+    tune                    run a budget-aware tuning session
+    explain                 show a query's hypothetical plan under a config
+    compress                compress a workload and show the representatives
+
+Examples:
+    python -m repro workloads
+    python -m repro tune --workload tpch --budget 300 --max-indexes 10
+    python -m repro tune --workload tpcds --algo two_phase --minutes 30
+    python -m repro explain --workload tpch --query q3 --budget 100
+    python -m repro compress --workload tpcds --target 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import MCTSConfig, TuningConstraints
+from repro.eval.timemodel import WhatIfTimeModel
+from repro.exceptions import ReproError
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.tuners import (
+    AutoAdminGreedyTuner,
+    DBABanditTuner,
+    DTATuner,
+    MCTSTuner,
+    NoDBATuner,
+    RandomSearchTuner,
+    TimeBudgetedTuner,
+    TwoPhaseGreedyTuner,
+    VanillaGreedyTuner,
+)
+from repro.workload.analysis import bind_query
+from repro.workload.compression import WorkloadCompressor
+from repro.workloads import available_workloads, get_workload
+
+_ALGORITHMS = {
+    "mcts": lambda args: MCTSTuner(
+        config=MCTSConfig(
+            selection_policy=args.selection,
+            rollout_policy=args.rollout,
+            extraction=args.extraction,
+        ),
+        seed=args.seed,
+    ),
+    "vanilla": lambda args: VanillaGreedyTuner(),
+    "two_phase": lambda args: TwoPhaseGreedyTuner(),
+    "autoadmin": lambda args: AutoAdminGreedyTuner(),
+    "dba_bandits": lambda args: DBABanditTuner(seed=args.seed),
+    "no_dba": lambda args: NoDBATuner(seed=args.seed),
+    "dta": lambda args: DTATuner(),
+    "random": lambda args: RandomSearchTuner(seed=args.seed),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Budget-aware index tuning (SIGMOD 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list built-in workloads")
+
+    tune = sub.add_parser("tune", help="run a tuning session")
+    tune.add_argument("--workload", required=True, choices=available_workloads())
+    tune.add_argument("--scale", type=float, default=0.1,
+                      help="structural scale for generated workloads (default 0.1)")
+    tune.add_argument("--algo", default="mcts", choices=sorted(_ALGORITHMS))
+    budget_group = tune.add_mutually_exclusive_group(required=True)
+    budget_group.add_argument("--budget", type=int, help="what-if call budget B")
+    budget_group.add_argument("--minutes", type=float,
+                              help="tuning-time budget (mapped to calls)")
+    tune.add_argument("--max-indexes", type=int, default=10, help="K (default 10)")
+    tune.add_argument("--max-storage-gb", type=float, default=None,
+                      help="storage constraint in GB (default: none)")
+    tune.add_argument("--min-improvement", type=float, default=None,
+                      help="minimum required improvement %% (default: none)")
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument("--selection", default="epsilon_greedy",
+                      choices=("epsilon_greedy", "uct", "boltzmann"))
+    tune.add_argument("--rollout", default="myopic", choices=("myopic", "random"))
+    tune.add_argument("--extraction", default="bg", choices=("bg", "bce"))
+
+    explain = sub.add_parser("explain", help="show a hypothetical plan")
+    explain.add_argument("--workload", required=True, choices=available_workloads())
+    explain.add_argument("--scale", type=float, default=0.1)
+    explain.add_argument("--query", required=True, help="query id, e.g. q3")
+    explain.add_argument("--budget", type=int, default=200,
+                         help="budget for the tuning pass that picks indexes")
+    explain.add_argument("--max-indexes", type=int, default=10)
+    explain.add_argument("--seed", type=int, default=0)
+
+    compress = sub.add_parser("compress", help="compress a workload")
+    compress.add_argument("--workload", required=True, choices=available_workloads())
+    compress.add_argument("--scale", type=float, default=0.1)
+    compress.add_argument("--target", type=int, required=True,
+                          help="number of representative queries to keep")
+    return parser
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    print(f"{'name':8s} {'#queries':>9s} {'#tables':>8s} {'size':>10s}")
+    for name in available_workloads():
+        workload = get_workload(name, scale=0.1)
+        gigabytes = workload.schema.total_size_bytes / 1e9
+        print(
+            f"{name:8s} {len(workload):9d} {len(workload.schema.tables):8d} "
+            f"{gigabytes:8.1f}GB"
+        )
+    print("\n(table counts at --scale 0.1 for the generated Real workloads)")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload, scale=args.scale)
+    constraints = TuningConstraints(
+        max_indexes=args.max_indexes,
+        max_storage_bytes=(
+            int(args.max_storage_gb * 1e9) if args.max_storage_gb else None
+        ),
+        min_improvement_percent=args.min_improvement,
+    )
+    tuner = _ALGORITHMS[args.algo](args)
+    if args.minutes is not None:
+        adapter = TimeBudgetedTuner(tuner)
+        result = adapter.tune_for_minutes(
+            workload, args.minutes, constraints=constraints
+        )
+        model = WhatIfTimeModel(workload)
+        print(
+            f"time budget {args.minutes:.0f} min -> "
+            f"{result.budget} what-if calls "
+            f"(~{model.mean_call_seconds:.2f}s/call)"
+        )
+    else:
+        result = tuner.tune(workload, budget=args.budget, constraints=constraints)
+
+    print(
+        f"{result.tuner}: {result.true_improvement():.1f}% improvement, "
+        f"{result.calls_used} what-if calls used"
+    )
+    if not result.configuration:
+        print("no indexes recommended")
+        return 0
+    print(f"recommended configuration ({len(result.configuration)} indexes):")
+    for index in sorted(result.configuration, key=lambda ix: ix.display()):
+        print(f"  {index.display()}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload, scale=args.scale)
+    query = workload.query(args.query)
+    result = MCTSTuner(seed=args.seed).tune(
+        workload,
+        budget=args.budget,
+        constraints=TuningConstraints(max_indexes=args.max_indexes),
+    )
+    optimizer = WhatIfOptimizer(workload)
+    print("--- query ---")
+    print(query.sql)
+    print("\n--- plan without hypothetical indexes ---")
+    print(optimizer.explain(query, frozenset()).render())
+    print("\n--- plan with the recommended configuration ---")
+    print(optimizer.explain(query, result.configuration).render())
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload, scale=args.scale)
+    compressed = WorkloadCompressor(args.target).compress(workload)
+    print(
+        f"{workload.name}: {len(workload)} queries -> "
+        f"{len(compressed)} representatives"
+    )
+    for query in compressed:
+        bound = bind_query(workload.schema, query.statement, query.qid)
+        print(
+            f"  {query.qid:6s} weight={query.weight:6.1f} "
+            f"joins={bound.num_joins:2d} tables={len(bound.tables)}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "workloads": _cmd_workloads,
+        "tune": _cmd_tune,
+        "explain": _cmd_explain,
+        "compress": _cmd_compress,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

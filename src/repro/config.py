@@ -1,0 +1,199 @@
+"""Tuning constraints and algorithm knobs.
+
+The paper distinguishes two kinds of limits (Section 1):
+
+* the *budget constraint* ``B`` — how many what-if optimizer calls the
+  enumeration step may issue while searching; and
+* *tuning constraints* ``Γ`` imposed on the outcome — the cardinality
+  constraint ``K`` (maximum number of recommended indexes) and, optionally,
+  a storage constraint (maximum total size of the recommended indexes).
+
+:class:`TuningConstraints` captures ``Γ``; the budget is passed separately to
+each tuner because it parameterises the search, not the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConstraintError
+
+
+@dataclass(frozen=True)
+class TuningConstraints:
+    """Outcome constraints ``Γ`` for index tuning.
+
+    Attributes:
+        max_indexes: Cardinality constraint ``K``; the recommended
+            configuration contains at most this many indexes.
+        max_storage_bytes: Optional storage constraint; the summed estimated
+            size of the recommended indexes may not exceed it. ``None``
+            disables the storage constraint (the paper's default setting).
+        min_improvement_percent: Optional "minimum improvement required"
+            constraint (the constrained-tuning line of work the paper cites
+            as [18]): when the best configuration found improves the
+            workload by less than this percentage, the tuner recommends
+            nothing rather than marginal indexes.
+    """
+
+    max_indexes: int = 10
+    max_storage_bytes: int | None = None
+    min_improvement_percent: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_indexes < 1:
+            raise ConstraintError(
+                f"max_indexes must be at least 1, got {self.max_indexes}"
+            )
+        if self.max_storage_bytes is not None and self.max_storage_bytes <= 0:
+            raise ConstraintError(
+                f"max_storage_bytes must be positive, got {self.max_storage_bytes}"
+            )
+        if self.min_improvement_percent is not None and not (
+            0.0 <= self.min_improvement_percent <= 100.0
+        ):
+            raise ConstraintError(
+                "min_improvement_percent must lie in [0, 100], got "
+                f"{self.min_improvement_percent}"
+            )
+
+    def admits(self, configuration, *, extra_bytes: int = 0) -> bool:
+        """Return whether ``configuration`` satisfies the constraints.
+
+        Args:
+            configuration: Iterable of :class:`repro.catalog.Index`.
+            extra_bytes: Additional storage to charge (used when testing
+                whether an index can still be *added* to a configuration).
+        """
+        indexes = list(configuration)
+        if len(indexes) > self.max_indexes:
+            return False
+        if self.max_storage_bytes is not None:
+            total = sum(ix.estimated_size_bytes for ix in indexes) + extra_bytes
+            if total > self.max_storage_bytes:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class MCTSConfig:
+    """Knobs for the MCTS enumeration algorithm (Sections 5 and 6).
+
+    The defaults reproduce the configuration the paper reports as best and
+    most consistent (Section 7.1): ε-greedy action selection seeded with
+    singleton priors, myopic rollout with step size 0, and greedy (BG)
+    extraction of the final configuration.
+
+    Attributes:
+        selection_policy: ``"epsilon_greedy"`` (prior-seeded, Eq. 6),
+            ``"uct"`` (Eq. 5), or ``"boltzmann"`` (softmax exploration, the
+            classic variant Eq. 6 simplifies — kept for ablations).
+        uct_lambda: Exploration constant λ for UCT; √2 per Kocsis &
+            Szepesvári, as chosen in Section 6.1.1.
+        boltzmann_temperature: Temperature τ for the Boltzmann policy.
+        rollout_policy: ``"myopic"`` (fixed look-ahead step) or ``"random"``
+            (uniform look-ahead step in ``{0, .., K - d}``, Section 6.2).
+        myopic_step: Fixed look-ahead step size for the myopic rollout.
+        extraction: ``"bg"`` (Best Greedy) or ``"bce"`` (Best Configuration
+            Explored), Section 6.3.
+        use_priors: Whether to run Algorithm 4 and seed Q̂ with singleton
+            percentage improvements (required by the ε-greedy variant;
+            optional under UCT).
+        prior_budget_fraction: Fraction of the total budget reserved for
+            Algorithm 4; the paper uses ``B' = min(B/2, P)`` i.e. 0.5.
+        prior_query_selection: Query-selection policy inside Algorithm 4 —
+            ``"round_robin"`` (paper default) or ``"cost_proportional"``.
+        prior_index_selection: Index-selection policy inside Algorithm 4 —
+            ``"largest_table"`` (paper default) or ``"uniform"``.
+        hybrid_extraction: When true, return the better of the BG and BCE
+            configurations (the "simple hybrid strategy" of Appendix C.2).
+        episode_query_selection: How EvaluateCostWithBudget picks the query
+            receiving the counted call each episode — ``"cost_proportional"``
+            (the paper's strategy), ``"uniform"``, or ``"round_robin"``
+            ("other strategies are possible", Section 5.2).
+        rave_weight: Weight of the RAVE-style all-moves-as-first statistic
+            blended into Q̂ (Section 8 suggests RAVE as a further
+            optimization); 0 disables it (the paper's setting).
+    """
+
+    selection_policy: str = "epsilon_greedy"
+    uct_lambda: float = 2.0**0.5
+    boltzmann_temperature: float = 0.1
+    rollout_policy: str = "myopic"
+    myopic_step: int = 0
+    extraction: str = "bg"
+    use_priors: bool = True
+    prior_budget_fraction: float = 0.5
+    prior_query_selection: str = "round_robin"
+    prior_index_selection: str = "largest_table"
+    hybrid_extraction: bool = False
+    episode_query_selection: str = "cost_proportional"
+    rave_weight: float = 0.0
+
+    _SELECTION_POLICIES = ("epsilon_greedy", "uct", "boltzmann")
+    _ROLLOUT_POLICIES = ("myopic", "random")
+    _EXTRACTIONS = ("bg", "bce")
+    _QUERY_SELECTIONS = ("round_robin", "cost_proportional")
+    _INDEX_SELECTIONS = ("largest_table", "uniform")
+    _EPISODE_QUERY_SELECTIONS = ("cost_proportional", "uniform", "round_robin")
+
+    def __post_init__(self) -> None:
+        if self.selection_policy not in self._SELECTION_POLICIES:
+            raise ConstraintError(
+                f"unknown selection_policy {self.selection_policy!r}; "
+                f"expected one of {self._SELECTION_POLICIES}"
+            )
+        if self.rollout_policy not in self._ROLLOUT_POLICIES:
+            raise ConstraintError(
+                f"unknown rollout_policy {self.rollout_policy!r}; "
+                f"expected one of {self._ROLLOUT_POLICIES}"
+            )
+        if self.extraction not in self._EXTRACTIONS:
+            raise ConstraintError(
+                f"unknown extraction {self.extraction!r}; "
+                f"expected one of {self._EXTRACTIONS}"
+            )
+        if self.prior_query_selection not in self._QUERY_SELECTIONS:
+            raise ConstraintError(
+                f"unknown prior_query_selection {self.prior_query_selection!r}"
+            )
+        if self.prior_index_selection not in self._INDEX_SELECTIONS:
+            raise ConstraintError(
+                f"unknown prior_index_selection {self.prior_index_selection!r}"
+            )
+        if not 0.0 <= self.prior_budget_fraction <= 1.0:
+            raise ConstraintError(
+                "prior_budget_fraction must lie in [0, 1], got "
+                f"{self.prior_budget_fraction}"
+            )
+        if self.myopic_step < 0:
+            raise ConstraintError(
+                f"myopic_step must be non-negative, got {self.myopic_step}"
+            )
+        if self.uct_lambda < 0:
+            raise ConstraintError(
+                f"uct_lambda must be non-negative, got {self.uct_lambda}"
+            )
+        if self.boltzmann_temperature <= 0:
+            raise ConstraintError(
+                "boltzmann_temperature must be positive, got "
+                f"{self.boltzmann_temperature}"
+            )
+        if self.episode_query_selection not in self._EPISODE_QUERY_SELECTIONS:
+            raise ConstraintError(
+                "unknown episode_query_selection "
+                f"{self.episode_query_selection!r}"
+            )
+        if not 0.0 <= self.rave_weight <= 1.0:
+            raise ConstraintError(
+                f"rave_weight must lie in [0, 1], got {self.rave_weight}"
+            )
+
+
+#: Ablation presets matching the four series of Figures 22-23.
+ABLATION_PRESETS: dict[str, MCTSConfig] = {
+    "uct_only": MCTSConfig(selection_policy="uct", use_priors=False, extraction="bce"),
+    "uct_greedy": MCTSConfig(selection_policy="uct", use_priors=False, extraction="bg"),
+    "prior_only": MCTSConfig(selection_policy="epsilon_greedy", extraction="bce"),
+    "prior_greedy": MCTSConfig(selection_policy="epsilon_greedy", extraction="bg"),
+}

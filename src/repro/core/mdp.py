@@ -1,0 +1,79 @@
+"""The MDP view of index configuration search (Section 5.1).
+
+* **States** — index configurations: all subsets of the candidate set
+  ``I`` (so ``|S| = 2^{|I|}``); a state is represented as a
+  ``frozenset[Index]``.
+* **Actions** — ``A(s) = I − s``: the indexes that can still be added.
+* **Transitions** — deterministic: ``s' = f(s, a) = s ∪ {a}`` with
+  probability 1.
+* **Rewards / returns** — the expected percentage improvement (Equation 4)
+  of configurations containing ``s``, evaluated with derived costs under
+  budget constraints. Rewards are kept as fractions in ``[0, 1]`` (the
+  paper's UCT discussion assumes this range).
+
+States with ``|s| = K`` — or states whose every remaining action would
+violate the storage constraint — are *terminal*: they have no outgoing
+transitions.
+"""
+
+from __future__ import annotations
+
+from repro.catalog import Index
+from repro.config import TuningConstraints
+
+#: A state of the MDP: an index configuration.
+State = frozenset
+
+
+class IndexTuningMDP:
+    """The deterministic MDP over configurations of a fixed candidate set.
+
+    Args:
+        candidates: The candidate indexes ``I`` spanning the state space.
+        constraints: Cardinality (``K``) and optional storage constraints;
+            both restrict the action sets.
+    """
+
+    def __init__(self, candidates: list[Index], constraints: TuningConstraints):
+        self._candidates = tuple(
+            sorted(candidates, key=lambda ix: (ix.table, ix.key_columns, ix.include_columns))
+        )
+        self._constraints = constraints
+
+    @property
+    def candidates(self) -> tuple[Index, ...]:
+        return self._candidates
+
+    @property
+    def constraints(self) -> TuningConstraints:
+        return self._constraints
+
+    @property
+    def initial_state(self) -> frozenset[Index]:
+        """The root state: the existing (empty hypothetical) configuration."""
+        return frozenset()
+
+    def actions(self, state: frozenset[Index]) -> list[Index]:
+        """``A(s)``: addable indexes that keep the state admissible."""
+        if len(state) >= self._constraints.max_indexes:
+            return []
+        return [
+            index
+            for index in self._candidates
+            if index not in state
+            and self._constraints.admits(state, extra_bytes=index.estimated_size_bytes)
+        ]
+
+    def transition(self, state: frozenset[Index], action: Index) -> frozenset[Index]:
+        """``f(s, a) = s ∪ {a}`` — the (only) successor with probability 1."""
+        if action in state:
+            raise ValueError(f"action {action.display()} already in state")
+        return state | {action}
+
+    def is_terminal(self, state: frozenset[Index]) -> bool:
+        """Whether ``state`` has no outgoing transitions."""
+        return not self.actions(state)
+
+    def max_depth_from(self, state: frozenset[Index]) -> int:
+        """``K − d``: how many more indexes may be added below ``state``."""
+        return max(0, self._constraints.max_indexes - len(state))

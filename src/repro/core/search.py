@@ -1,0 +1,259 @@
+"""Algorithm 3: MCTS for budget-aware index tuning.
+
+Each episode walks the tree from the root (selection), expands one node when
+it steps off the frontier, rolls out from unvisited leaves (simulation),
+evaluates the sampled configuration with *one* counted what-if call plus
+derived costs (budget allocation, the EvaluateCostWithBudget procedure), and
+propagates the observed percentage improvement back up the path (update).
+
+Episodes repeat until the what-if budget is exhausted, after which the best
+configuration is extracted (Section 6.3).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.catalog import Index
+from repro.config import MCTSConfig, TuningConstraints
+from repro.core.extraction import BestExploredTracker, extract_best
+from repro.core.mdp import IndexTuningMDP
+from repro.core.node import TreeNode
+from repro.core.priors import compute_singleton_priors, prior_pair_count
+from repro.core.node import ActionStats
+from repro.core.rollout import RolloutPolicy
+from repro.core.selection import (
+    BoltzmannPolicy,
+    EpsilonGreedyPriorPolicy,
+    SelectionPolicy,
+    UCTPolicy,
+)
+from repro.exceptions import BudgetExhaustedError
+from repro.optimizer.whatif import WhatIfOptimizer
+
+
+class MCTSSearch:
+    """One MCTS tuning session over a fixed workload and candidate set.
+
+    Args:
+        optimizer: Budget-metered what-if interface (owns the budget ``B``).
+        candidates: Candidate indexes ``I``.
+        constraints: Cardinality/storage constraints ``Γ``.
+        config: Policy knobs (defaults reproduce the paper's best setting).
+        seed: RNG seed; MCTS is stochastic and the paper reports the mean of
+            five seeds.
+    """
+
+    def __init__(
+        self,
+        optimizer: WhatIfOptimizer,
+        candidates: list[Index],
+        constraints: TuningConstraints,
+        config: MCTSConfig | None = None,
+        seed: int | None = None,
+    ):
+        self._optimizer = optimizer
+        self._constraints = constraints
+        self._config = config or MCTSConfig()
+        self._rng = random.Random(0 if seed is None else seed)
+        self._mdp = IndexTuningMDP(candidates, constraints)
+        self._candidates = list(self._mdp.candidates)
+        self._amaf: dict[Index, ActionStats] = {}
+        self._episode_cursor = 0
+        self._policy = self._build_policy()
+        self._priors: dict[Index, float] = {}
+        self._root: TreeNode | None = None
+        self._rollout: RolloutPolicy | None = None
+        self._episodes = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _rave_q(self, node: TreeNode, action: Index) -> float:
+        """Q̂ blended with the all-moves-as-first (RAVE) statistic."""
+        base = node.q_value(action)
+        amaf = self._amaf.get(action)
+        if amaf is None or amaf.visits == 0:
+            return base
+        beta = self._config.rave_weight
+        return (1.0 - beta) * base + beta * amaf.q_value
+
+    def _build_policy(self) -> SelectionPolicy:
+        q_fn = self._rave_q if self._config.rave_weight > 0 else None
+        if self._config.selection_policy == "uct":
+            return UCTPolicy(exploration=self._config.uct_lambda, q_fn=q_fn)
+        if self._config.selection_policy == "boltzmann":
+            return BoltzmannPolicy(
+                temperature=self._config.boltzmann_temperature, q_fn=q_fn
+            )
+        return EpsilonGreedyPriorPolicy(q_fn=q_fn)
+
+    @property
+    def root(self) -> TreeNode | None:
+        """The search tree root (available after :meth:`run`)."""
+        return self._root
+
+    @property
+    def priors(self) -> dict[Index, float]:
+        """Singleton priors computed by Algorithm 4 (empty when disabled)."""
+        return dict(self._priors)
+
+    @property
+    def episodes(self) -> int:
+        """Episodes executed by the last :meth:`run`."""
+        return self._episodes
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> tuple[frozenset[Index], list[tuple[int, frozenset[Index]]]]:
+        """Execute the full tuning session.
+
+        Returns:
+            ``(configuration, history)`` — the extracted best configuration
+            and the chronological ``(calls_used, best_explored)`` checkpoints.
+        """
+        optimizer = self._optimizer
+        meter = optimizer.meter
+
+        if self._config.use_priors:
+            self._priors = self._compute_priors()
+
+        self._root = TreeNode.create(
+            self._mdp.initial_state,
+            self._mdp.actions(self._mdp.initial_state),
+            self._priors,
+        )
+        self._rollout = RolloutPolicy(self._config, self._constraints, self._priors)
+        tracker = BestExploredTracker(optimizer, self._constraints)
+        baseline = optimizer.empty_workload_cost()
+        history: list[tuple[int, frozenset[Index]]] = []
+
+        # Seed the explored set with the best prior singleton so BCE never
+        # returns the empty configuration when priors found improvements.
+        for index, prior in self._priors.items():
+            if prior > 0.0:
+                singleton = frozenset({index})
+                tracker.observe(
+                    singleton, optimizer.derived_workload_cost(singleton)
+                )
+        if tracker.best:
+            history.append((meter.spent, tracker.best))
+
+        budget = meter.budget
+        episode_cap = max(1000, 20 * budget) if budget is not None else 1000
+        stall_limit = 2000  # consecutive episodes without budget consumption
+        stalled = 0
+        self._episodes = 0
+        while self._episodes < episode_cap and not meter.exhausted:
+            self._episodes += 1
+            path: list[tuple[TreeNode, Index]] = []
+            spent_before = meter.spent
+            configuration = self._sample_configuration(self._root, path)
+            cost = self._evaluate_with_budget(configuration)
+            if meter.spent == spent_before:
+                stalled += 1
+                if stalled >= stall_limit:
+                    break
+            else:
+                stalled = 0
+            reward = 0.0
+            if baseline > 0:
+                reward = max(0.0, min(1.0, 1.0 - cost / baseline))
+            for node, action in path:
+                node.update(action, reward)
+            if self._config.rave_weight > 0:
+                for index in configuration:
+                    self._amaf.setdefault(index, ActionStats()).update(reward)
+            if tracker.observe(configuration, cost):
+                history.append((meter.spent, tracker.best))
+
+        tracker.refresh()
+        best = extract_best(
+            self._config.extraction,
+            optimizer,
+            self._candidates,
+            self._constraints,
+            tracker,
+            hybrid=self._config.hybrid_extraction,
+        )
+        history.append((meter.spent, best))
+        return best, history
+
+    # ------------------------------------------------------------------ #
+
+    def _compute_priors(self) -> dict[Index, float]:
+        budget = self._optimizer.meter.budget
+        pairs = prior_pair_count(self._optimizer, self._candidates)
+        if budget is None:
+            sub_budget = pairs
+        else:
+            sub_budget = min(
+                int(budget * self._config.prior_budget_fraction), pairs
+            )
+        if sub_budget <= 0:
+            return {}
+        return compute_singleton_priors(
+            self._optimizer,
+            self._candidates,
+            sub_budget,
+            self._rng,
+            query_selection=self._config.prior_query_selection,
+            index_selection=self._config.prior_index_selection,
+        )
+
+    def _sample_configuration(
+        self, node: TreeNode, path: list[tuple[TreeNode, Index]]
+    ) -> frozenset[Index]:
+        """SampleConfiguration: selection / expansion / simulation."""
+        while True:
+            if node.is_terminal:
+                return node.state
+            if node.is_leaf and not node.rolled_out:
+                node.rolled_out = True
+                return self._rollout.rollout(node.state, node.actions, self._rng)
+            action = self._policy.select(node, self._rng)
+            path.append((node, action))
+            child = node.children.get(action)
+            if child is None:
+                child_state = self._mdp.transition(node.state, action)
+                child = TreeNode.create(
+                    child_state, self._mdp.actions(child_state), self._priors
+                )
+                node.children[action] = child
+            node = child
+
+    def _pick_episode_query(self, queries, derived: list[float]):
+        """The query receiving the episode's counted call.
+
+        The paper draws it with probability proportional to its derived
+        cost; uniform and round-robin alternatives are exposed as knobs
+        ("other strategies are possible", Section 5.2).
+        """
+        mode = self._config.episode_query_selection
+        if mode == "uniform":
+            return self._rng.choice(queries)
+        if mode == "round_robin":
+            query = queries[self._episode_cursor % len(queries)]
+            self._episode_cursor += 1
+            return query
+        weights = [max(1e-12, value) for value in derived]
+        (target,) = self._rng.choices(queries, weights=weights, k=1)
+        return target
+
+    def _evaluate_with_budget(self, configuration: frozenset[Index]) -> float:
+        """EvaluateCostWithBudget: one counted call, derived for the rest."""
+        optimizer = self._optimizer
+        workload = list(optimizer.workload)
+        derived = [
+            query.weight * optimizer.derived_cost(query, configuration)
+            for query in workload
+        ]
+        total = sum(derived)
+        if not configuration:
+            return total
+        target = self._pick_episode_query(workload, derived)
+        try:
+            exact = optimizer.whatif_cost(target, configuration)
+        except BudgetExhaustedError:
+            return total
+        index = workload.index(target)
+        return total - derived[index] + target.weight * exact

@@ -1,0 +1,126 @@
+"""Action-selection policies (Section 6.1).
+
+Two policies are provided:
+
+* :class:`UCTPolicy` — Equation 5: pick ``argmax_a [ Q̂(s,a) + λ·sqrt(ln N(s)
+  / n(s,a)) ]``; unvisited actions score infinity, so every child must be
+  visited once before any is revisited (the slow-progress behaviour the
+  paper observes under small budgets).
+* :class:`EpsilonGreedyPriorPolicy` — the paper's variant of ε-greedy
+  (Equation 6): sample action ``a`` with probability proportional to
+  ``Q̂(s,a)``, where unvisited actions carry the singleton-improvement
+  prior computed by Algorithm 4.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+from typing import Callable
+
+from repro.catalog import Index
+from repro.core.node import TreeNode
+
+#: Signature of an action-value accessor; defaults to ``node.q_value`` but a
+#: search may substitute a blended estimate (e.g. RAVE, Section 8).
+QFunction = Callable[[TreeNode, Index], float]
+
+
+def _default_q(node: TreeNode, action: Index) -> float:
+    return node.q_value(action)
+
+
+class SelectionPolicy(abc.ABC):
+    """Strategy interface for SelectAction in Algorithm 3."""
+
+    def __init__(self, q_fn: QFunction | None = None):
+        self._q = q_fn or _default_q
+
+    @abc.abstractmethod
+    def select(self, node: TreeNode, rng: random.Random) -> Index:
+        """Pick an action from ``node.actions`` (non-empty)."""
+
+
+class UCTPolicy(SelectionPolicy):
+    """UCB1-based selection (Kocsis & Szepesvári), Equation 5."""
+
+    def __init__(self, exploration: float = math.sqrt(2.0), q_fn: QFunction | None = None):
+        super().__init__(q_fn)
+        if exploration < 0:
+            raise ValueError(f"exploration constant must be >= 0, got {exploration}")
+        self._lambda = exploration
+
+    @property
+    def exploration(self) -> float:
+        return self._lambda
+
+    def score(self, node: TreeNode, action: Index) -> float:
+        """The UCB score of ``action`` at ``node`` (infinite when unvisited)."""
+        stats = node.stats[action]
+        if stats.visits == 0:
+            return math.inf
+        bonus = self._lambda * math.sqrt(
+            math.log(max(node.visits, 1)) / stats.visits
+        )
+        return self._q(node, action) + bonus
+
+    def select(self, node: TreeNode, rng: random.Random) -> Index:
+        unvisited = [a for a in node.actions if node.stats[a].visits == 0]
+        if unvisited:
+            return rng.choice(unvisited)
+        return max(node.actions, key=lambda a: self.score(node, a))
+
+
+class EpsilonGreedyPriorPolicy(SelectionPolicy):
+    """Prior-seeded proportional sampling (Equation 6).
+
+    ``Pr(a|s) = Q̂(s,a) / Σ_b Q̂(s,b)`` where ``Q̂`` falls back to the action
+    prior before the first visit. Degenerates to uniform sampling when every
+    Q̂ is zero (e.g. no priors computed and no rewards observed yet).
+    """
+
+    def select(self, node: TreeNode, rng: random.Random) -> Index:
+        weights = [max(0.0, self._q(node, a)) for a in node.actions]
+        total = sum(weights)
+        if total <= 0.0:
+            return rng.choice(node.actions)
+        threshold = rng.random() * total
+        cumulative = 0.0
+        for action, weight in zip(node.actions, weights):
+            cumulative += weight
+            if cumulative >= threshold:
+                return action
+        return node.actions[-1]
+
+
+class BoltzmannPolicy(SelectionPolicy):
+    """Boltzmann (softmax) exploration — the classic ε-greedy variant the
+    paper's Equation 6 simplifies (kept for ablations).
+
+    Args:
+        temperature: τ > 0; lower values are greedier.
+    """
+
+    def __init__(self, temperature: float = 0.1, q_fn: QFunction | None = None):
+        super().__init__(q_fn)
+        if temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {temperature}")
+        self._tau = temperature
+
+    @property
+    def temperature(self) -> float:
+        return self._tau
+
+    def select(self, node: TreeNode, rng: random.Random) -> Index:
+        values = [self._q(node, a) / self._tau for a in node.actions]
+        peak = max(values)
+        weights = [math.exp(v - peak) for v in values]
+        total = sum(weights)
+        threshold = rng.random() * total
+        cumulative = 0.0
+        for action, weight in zip(node.actions, weights):
+            cumulative += weight
+            if cumulative >= threshold:
+                return action
+        return node.actions[-1]

@@ -1,0 +1,21 @@
+"""Experiment harness: metrics, the what-if latency model, grid runner and
+per-figure experiment definitions reproducing the paper's evaluation."""
+
+from repro.eval.ascii_chart import line_chart
+from repro.eval.metrics import improvement_percent, round_series
+from repro.eval.timemodel import WhatIfTimeModel
+from repro.eval.runner import ExperimentRunner, RunRecord
+from repro.eval.report import format_grid, format_records, format_series, records_to_json
+
+__all__ = [
+    "ExperimentRunner",
+    "RunRecord",
+    "WhatIfTimeModel",
+    "format_grid",
+    "format_records",
+    "format_series",
+    "improvement_percent",
+    "line_chart",
+    "records_to_json",
+    "round_series",
+]

@@ -1,0 +1,95 @@
+"""Terminal line charts for improvement curves.
+
+The paper's figures are improvement-vs-budget line charts; this renderer
+draws the same curves as fixed-width ASCII so examples and ad-hoc analysis
+can show them without a plotting stack.
+"""
+
+from __future__ import annotations
+
+_MARKERS = "ox*+#@%&"
+
+
+def line_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+    x_label: str = "budget",
+    y_label: str = "improvement %",
+) -> str:
+    """Render ``{label: [(x, y), ...]}`` as an ASCII chart.
+
+    Points are plotted on a shared grid; later series overwrite earlier ones
+    on collisions (a legend maps markers to labels). Both axes are linear
+    and auto-scaled to the data.
+
+    Args:
+        series: One or more named point lists (x ascending not required).
+        width: Plot-area character columns.
+        height: Plot-area character rows.
+        title: Optional caption printed above the chart.
+        x_label: X-axis caption.
+        y_label: Y-axis caption.
+
+    Raises:
+        ValueError: If no series contains any point.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("nothing to plot: all series are empty")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        return (height - 1 - row, col)
+
+    legend: list[str] = []
+    for position, (label, pts) in enumerate(series.items()):
+        marker = _MARKERS[position % len(_MARKERS)]
+        legend.append(f"{marker} {label}")
+        ordered = sorted(pts)
+        for (x1, y1), (x2, y2) in zip(ordered, ordered[1:]):
+            # Linear interpolation between consecutive points.
+            steps = max(
+                abs(cell(x2, y2)[1] - cell(x1, y1)[1]),
+                abs(cell(x2, y2)[0] - cell(x1, y1)[0]),
+                1,
+            )
+            for step in range(steps + 1):
+                t = step / steps
+                row, col = cell(x1 + (x2 - x1) * t, y1 + (y2 - y1) * t)
+                grid[row][col] = marker
+        for x, y in ordered:
+            row, col = cell(x, y)
+            grid[row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:8.1f} +"
+    bottom_label = f"{y_lo:8.1f} +"
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label
+        elif row_index == height - 1:
+            prefix = bottom_label
+        else:
+            prefix = " " * 9 + "|"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * (width - 1))
+    lines.append(
+        " " * 10 + f"{x_lo:<12.0f}{x_label:^{max(0, width - 24)}}{x_hi:>12.0f}"
+    )
+    lines.append(" " * 10 + "  ".join(legend) + f"   ({y_label})")
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Evaluation metrics.
+
+The paper's single quality metric is the *percentage improvement* of the
+returned configuration over the existing (empty) configuration, measured
+with actual what-if costs (Equation 4)::
+
+    η(W, C) = (1 − cost(W, C) / cost(W, ∅)) × 100%
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.tuners.base import TuningResult
+
+
+def improvement_percent(baseline_cost: float, configured_cost: float) -> float:
+    """Equation 4 as a percentage; 0 for degenerate baselines."""
+    if baseline_cost <= 0:
+        return 0.0
+    return (1.0 - configured_cost / baseline_cost) * 100.0
+
+
+def mean_and_std(values: list[float]) -> tuple[float, float]:
+    """Sample mean and (population) standard deviation of ``values``."""
+    if not values:
+        return (0.0, 0.0)
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return (mean, math.sqrt(variance))
+
+
+def round_series(result: TuningResult, calls_per_round: int) -> list[tuple[int, float]]:
+    """Per-round best improvement from a result's convergence history.
+
+    The RL baselines (and Figure 14/21) measure progress in *rounds* of
+    ``|W|`` what-if calls. This converts the ``(calls, config)`` history
+    into ``(round, improvement%)`` points: for each round boundary, the best
+    configuration recorded at or before it.
+
+    Args:
+        result: A tuning result carrying its optimizer and history.
+        calls_per_round: What-if calls per round (usually the workload size).
+    """
+    if result.optimizer is None:
+        raise ValueError("result carries no optimizer for evaluation")
+    if calls_per_round < 1:
+        raise ValueError("calls_per_round must be positive")
+    history = sorted(result.history, key=lambda item: item[0])
+    if not history:
+        return []
+    total_calls = result.calls_used
+    rounds = max(1, -(-total_calls // calls_per_round))
+    series: list[tuple[int, float]] = []
+    best_improvement = 0.0
+    cursor = 0
+    cache: dict[frozenset, float] = {}
+    for round_index in range(1, rounds + 1):
+        boundary = round_index * calls_per_round
+        while cursor < len(history) and history[cursor][0] <= boundary:
+            configuration = history[cursor][1]
+            if configuration not in cache:
+                cost = result.optimizer.true_workload_cost(configuration)
+                cache[configuration] = improvement_percent(
+                    result.baseline_cost, cost
+                )
+            best_improvement = max(best_improvement, cache[configuration])
+            cursor += 1
+        series.append((round_index, best_improvement))
+    return series

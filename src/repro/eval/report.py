@@ -1,0 +1,134 @@
+"""Text reports mirroring the paper's figures and tables.
+
+Every benchmark target prints its artifact through these formatters, so a
+bench run produces the same rows/series the corresponding paper figure
+plots: one line per algorithm, one column per budget, mean ± std for
+stochastic algorithms.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.eval.runner import RunRecord
+
+
+def records_to_json(records: list[RunRecord], indent: int | None = 2) -> str:
+    """Serialise records for downstream plotting tools.
+
+    Only scalar fields are exported (the per-seed result objects carry live
+    optimizers and are not serialisable).
+    """
+    payload = [
+        {
+            "workload": r.workload,
+            "tuner": r.tuner,
+            "max_indexes": r.max_indexes,
+            "budget": r.budget,
+            "improvement_mean": r.improvement_mean,
+            "improvement_std": r.improvement_std,
+            "calls_used": r.calls_used,
+            "seconds": r.seconds,
+            "seeds": r.seeds,
+        }
+        for r in records
+    ]
+    return json.dumps(payload, indent=indent)
+
+
+def format_records(records: list[RunRecord]) -> str:
+    """Flat table of all records (diagnostic view)."""
+    header = (
+        f"{'workload':10s} {'tuner':18s} {'K':>3s} {'budget':>7s} "
+        f"{'improve%':>9s} {'std':>6s} {'calls':>7s} {'sec':>7s}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in records:
+        lines.append(
+            f"{r.workload:10s} {r.tuner:18s} {r.max_indexes:3d} {r.budget:7d} "
+            f"{r.improvement_mean:9.1f} {r.improvement_std:6.1f} "
+            f"{r.calls_used:7.0f} {r.seconds:7.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_grid(
+    records: list[RunRecord],
+    title: str,
+    minute_labels: dict[int, float] | None = None,
+) -> str:
+    """One paper-style panel per K: tuners as rows, budgets as columns.
+
+    Args:
+        records: Grid records (any order).
+        title: Panel caption, e.g. ``"Figure 8: TPC-DS, greedy baselines"``.
+        minute_labels: Optional ``{budget: minutes}`` annotations matching
+            the paper's ``1000(20)`` axis style.
+    """
+    k_values = sorted({r.max_indexes for r in records})
+    budgets = sorted({r.budget for r in records})
+    tuners = list(dict.fromkeys(r.tuner for r in records))
+    by_key = {(r.tuner, r.max_indexes, r.budget): r for r in records}
+
+    def budget_label(budget: int) -> str:
+        if minute_labels and budget in minute_labels:
+            return f"{budget}({minute_labels[budget]:.0f})"
+        return str(budget)
+
+    blocks = [title]
+    for k in k_values:
+        blocks.append(f"\n  K = {k}  (improvement %, mean and std over seeds)")
+        columns = [budget_label(b) for b in budgets]
+        header = f"    {'tuner':20s}" + "".join(f"{c:>16s}" for c in columns)
+        blocks.append(header)
+        blocks.append("    " + "-" * (len(header) - 4))
+        for tuner in tuners:
+            cells = []
+            for budget in budgets:
+                record = by_key.get((tuner, k, budget))
+                if record is None:
+                    cells.append(f"{'--':>16s}")
+                elif record.improvement_std > 0.05:
+                    cells.append(
+                        f"{record.improvement_mean:10.1f}±{record.improvement_std:4.1f} "
+                    )
+                else:
+                    cells.append(f"{record.improvement_mean:15.1f} ")
+            blocks.append(f"    {tuner:20s}" + "".join(cells))
+    return "\n".join(blocks)
+
+
+def format_series(
+    title: str,
+    series: dict[str, list[tuple[int, float]]],
+    x_label: str = "round",
+) -> str:
+    """A convergence plot as text: one row per x value, one column per series.
+
+    Args:
+        title: Caption, e.g. ``"Figure 14(a): TPC-DS convergence"``.
+        series: ``{label: [(x, improvement%), ...]}``.
+        x_label: Name of the shared x axis.
+    """
+    labels = list(series)
+    xs = sorted({x for points in series.values() for x, _ in points})
+    by_label = {
+        label: dict(points) for label, points in series.items()
+    }
+    lines = [title]
+    header = f"  {x_label:>8s}" + "".join(f"{label:>16s}" for label in labels)
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    last_seen: dict[str, float] = {label: 0.0 for label in labels}
+    for x in xs:
+        cells = []
+        for label in labels:
+            if x in by_label[label]:
+                last_seen[label] = by_label[label][x]
+                cells.append(f"{by_label[label][x]:16.1f}")
+            else:
+                cells.append(f"{last_seen[label]:15.1f}*")
+        lines.append(f"  {x:8d}" + "".join(cells))
+    if any("*" in cell for cell in lines[-1:]):
+        lines.append("  (* carried forward from an earlier round)")
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Grid runner: tuner × cardinality × budget × seed sweeps.
+
+The paper's end-to-end figures are grids of (algorithm, K, B) cells, with
+stochastic algorithms averaged over five RNG seeds. :class:`ExperimentRunner`
+executes such grids, reusing the workload's candidate set across cells, and
+returns flat :class:`RunRecord` rows the report module formats.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.catalog import Index
+from repro.config import TuningConstraints
+from repro.eval.metrics import mean_and_std
+from repro.rng import DEFAULT_SEED, spawn_seeds
+from repro.tuners.base import Tuner, TuningResult
+from repro.workload.candidates import CandidateGenerator
+from repro.workload.query import Workload
+
+#: A factory producing a (fresh) tuner for a given RNG seed. Deterministic
+#: tuners may ignore the seed; they are then run once per cell.
+TunerFactory = Callable[[int], Tuner]
+
+
+@dataclass
+class RunRecord:
+    """One grid cell: a tuner at one (K, B) point.
+
+    Attributes:
+        workload: Workload name.
+        tuner: Algorithm name.
+        max_indexes: Cardinality constraint ``K``.
+        budget: What-if budget ``B``.
+        improvement_mean: Mean true improvement (%) across seeds.
+        improvement_std: Standard deviation across seeds (0 for
+            deterministic algorithms).
+        calls_used: Mean counted calls consumed.
+        seconds: Mean wall-clock seconds per run (library time, not the
+            simulated what-if latency).
+        seeds: Seeds used.
+        results: The underlying per-seed results (for convergence plots).
+    """
+
+    workload: str
+    tuner: str
+    max_indexes: int
+    budget: int
+    improvement_mean: float
+    improvement_std: float
+    calls_used: float
+    seconds: float
+    seeds: list[int] = field(default_factory=list)
+    results: list[TuningResult] = field(default_factory=list, repr=False)
+
+
+class ExperimentRunner:
+    """Runs tuning grids over one workload.
+
+    Args:
+        workload: The workload under test.
+        candidates: Optional pre-built candidate set (generated once
+            otherwise and shared across all cells).
+        seeds: RNG seeds for stochastic tuners (the paper uses five).
+        keep_results: Retain full per-seed results on each record (needed
+            for convergence series; disable to save memory in big sweeps).
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        candidates: list[Index] | None = None,
+        seeds: list[int] | None = None,
+        keep_results: bool = True,
+    ):
+        self._workload = workload
+        self._candidates = (
+            candidates
+            if candidates is not None
+            else CandidateGenerator(workload.schema).for_workload(workload)
+        )
+        self._seeds = seeds or spawn_seeds(DEFAULT_SEED, 5)
+        self._keep_results = keep_results
+
+    @property
+    def workload(self) -> Workload:
+        return self._workload
+
+    @property
+    def candidates(self) -> list[Index]:
+        return list(self._candidates)
+
+    # ------------------------------------------------------------------ #
+
+    def run_cell(
+        self,
+        factory: TunerFactory,
+        budget: int,
+        constraints: TuningConstraints,
+        stochastic: bool = True,
+    ) -> RunRecord:
+        """Run one (tuner, K, B) cell, averaging seeds when stochastic."""
+        seeds = self._seeds if stochastic else self._seeds[:1]
+        improvements: list[float] = []
+        calls: list[float] = []
+        elapsed: list[float] = []
+        results: list[TuningResult] = []
+        tuner_name = ""
+        for seed in seeds:
+            tuner = factory(seed)
+            tuner_name = tuner.name
+            start = time.perf_counter()
+            result = tuner.tune(
+                self._workload,
+                budget=budget,
+                constraints=constraints,
+                candidates=self._candidates,
+            )
+            elapsed.append(time.perf_counter() - start)
+            improvements.append(result.true_improvement())
+            calls.append(float(result.calls_used))
+            if self._keep_results:
+                results.append(result)
+        mean, std = mean_and_std(improvements)
+        return RunRecord(
+            workload=self._workload.name,
+            tuner=tuner_name,
+            max_indexes=constraints.max_indexes,
+            budget=budget,
+            improvement_mean=mean,
+            improvement_std=std,
+            calls_used=sum(calls) / len(calls),
+            seconds=sum(elapsed) / len(elapsed),
+            seeds=list(seeds),
+            results=results,
+        )
+
+    def run_grid(
+        self,
+        factories: dict[str, tuple[TunerFactory, bool]],
+        budgets: list[int],
+        k_values: list[int],
+        max_storage_bytes: int | None = None,
+    ) -> list[RunRecord]:
+        """Run the full grid.
+
+        Args:
+            factories: ``{label: (factory, stochastic)}`` per algorithm.
+            budgets: Budget axis (the paper's x-axis).
+            k_values: Cardinality constraints (one sub-figure per value).
+            max_storage_bytes: Optional storage constraint applied to all
+                cells.
+
+        Returns:
+            Records ordered by (K, budget, insertion order of factories).
+        """
+        records: list[RunRecord] = []
+        for k in k_values:
+            constraints = TuningConstraints(
+                max_indexes=k, max_storage_bytes=max_storage_bytes
+            )
+            for budget in budgets:
+                for _, (factory, stochastic) in factories.items():
+                    records.append(
+                        self.run_cell(factory, budget, constraints, stochastic)
+                    )
+        return records

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything coming out of the tuner with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SQLSyntaxError(ReproError):
+    """Raised when the SQL lexer or parser rejects an input statement.
+
+    Attributes:
+        sql: The offending SQL text (may be ``None`` when unavailable).
+        position: Character offset into ``sql`` where the error occurred.
+    """
+
+    def __init__(self, message: str, sql: str | None = None, position: int | None = None):
+        super().__init__(message)
+        self.sql = sql
+        self.position = position
+
+
+class CatalogError(ReproError):
+    """Raised for invalid schema definitions or unknown catalog objects."""
+
+
+class UnknownTableError(CatalogError):
+    """Raised when a query references a table missing from the schema."""
+
+
+class UnknownColumnError(CatalogError):
+    """Raised when a query references a column missing from its table."""
+
+
+class InvalidIndexError(CatalogError):
+    """Raised for malformed index definitions (e.g., duplicate key columns)."""
+
+
+class OptimizerError(ReproError):
+    """Raised when the what-if optimizer cannot cost a query."""
+
+
+class BudgetExhaustedError(ReproError):
+    """Raised when a what-if call is requested but the budget is spent.
+
+    Enumeration algorithms in :mod:`repro.tuners` catch this internally and
+    fall back to derived costs; it only escapes to user code when the
+    :class:`~repro.optimizer.whatif.WhatIfOptimizer` is driven manually.
+    """
+
+
+class TuningError(ReproError):
+    """Raised for invalid tuning requests (e.g., non-positive budget)."""
+
+
+class ConstraintError(TuningError):
+    """Raised when tuning constraints are unsatisfiable or inconsistent."""

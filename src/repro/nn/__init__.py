@@ -1,0 +1,12 @@
+"""A tiny from-scratch NumPy neural substrate.
+
+Supplies exactly what the No-DBA deep-Q baseline needs: a fully-connected
+ReLU network trained with Adam on per-action TD targets, and a replay
+buffer. CPU-only by construction, matching the paper's adapted comparison
+protocol ("we only use CPU for training the DNN").
+"""
+
+from repro.nn.mlp import MLP
+from repro.nn.replay import ReplayBuffer, Transition
+
+__all__ = ["MLP", "ReplayBuffer", "Transition"]

@@ -1,0 +1,139 @@
+"""A fully-connected ReLU network with Adam, trained on per-action targets.
+
+The network maps a state vector to one Q-value per action. Training uses
+the DQN loss: mean squared error between ``Q(s)[a]`` and the TD target, with
+gradients flowing only through the taken action's output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MLP:
+    """Multi-layer perceptron ``input -> hidden*... -> output`` with ReLU.
+
+    Args:
+        input_dim: State vector width.
+        hidden_dims: Hidden layer widths (the paper's No-DBA adaptation
+            uses three layers of 96).
+        output_dim: Number of actions (Q-values).
+        rng: Seeded generator for weight initialisation.
+        learning_rate: Adam step size.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dims: tuple[int, ...],
+        output_dim: int,
+        rng: np.random.Generator,
+        learning_rate: float = 1e-3,
+    ):
+        if input_dim < 1 or output_dim < 1:
+            raise ValueError("input_dim and output_dim must be positive")
+        dims = [input_dim, *hidden_dims, output_dim]
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(dims[:-1], dims[1:]):
+            scale = np.sqrt(2.0 / fan_in)  # He initialisation for ReLU
+            self._weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+        self._lr = learning_rate
+        self._adam_t = 0
+        self._m = [np.zeros_like(w) for w in self._weights] + [
+            np.zeros_like(b) for b in self._biases
+        ]
+        self._v = [np.zeros_like(w) for w in self._weights] + [
+            np.zeros_like(b) for b in self._biases
+        ]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self._weights)
+
+    # ------------------------------------------------------------------ #
+
+    def forward(self, states: np.ndarray) -> np.ndarray:
+        """Q-values for a batch of states, shape ``(batch, output_dim)``."""
+        activations = np.atleast_2d(states)
+        for layer, (weight, bias) in enumerate(zip(self._weights, self._biases)):
+            activations = activations @ weight + bias
+            if layer < self.num_layers - 1:
+                activations = np.maximum(activations, 0.0)
+        return activations
+
+    def _forward_cached(self, states: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        activations = np.atleast_2d(states)
+        cache = [activations]
+        for layer, (weight, bias) in enumerate(zip(self._weights, self._biases)):
+            activations = activations @ weight + bias
+            if layer < self.num_layers - 1:
+                activations = np.maximum(activations, 0.0)
+            cache.append(activations)
+        return activations, cache
+
+    def train_step(
+        self, states: np.ndarray, actions: np.ndarray, targets: np.ndarray
+    ) -> float:
+        """One Adam step on ``(Q(s)[a] − target)²`` averaged over the batch.
+
+        Returns:
+            The batch loss before the update.
+        """
+        states = np.atleast_2d(states)
+        batch = states.shape[0]
+        output, cache = self._forward_cached(states)
+
+        selected = output[np.arange(batch), actions]
+        errors = selected - targets
+        loss = float(np.mean(errors**2))
+
+        # Backpropagate through the selected outputs only.
+        grad_out = np.zeros_like(output)
+        grad_out[np.arange(batch), actions] = 2.0 * errors / batch
+
+        grad_weights: list[np.ndarray] = [np.empty(0)] * self.num_layers
+        grad_biases: list[np.ndarray] = [np.empty(0)] * self.num_layers
+        upstream = grad_out
+        for layer in range(self.num_layers - 1, -1, -1):
+            pre_activation_input = cache[layer]
+            grad_weights[layer] = pre_activation_input.T @ upstream
+            grad_biases[layer] = upstream.sum(axis=0)
+            if layer > 0:
+                upstream = upstream @ self._weights[layer].T
+                upstream = upstream * (cache[layer] > 0.0)
+
+        self._adam_update(grad_weights, grad_biases)
+        return loss
+
+    def _adam_update(
+        self, grad_weights: list[np.ndarray], grad_biases: list[np.ndarray]
+    ) -> None:
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        self._adam_t += 1
+        params = self._weights + self._biases
+        grads = grad_weights + grad_biases
+        for i, (param, grad) in enumerate(zip(params, grads)):
+            self._m[i] = beta1 * self._m[i] + (1 - beta1) * grad
+            self._v[i] = beta2 * self._v[i] + (1 - beta2) * grad**2
+            m_hat = self._m[i] / (1 - beta1**self._adam_t)
+            v_hat = self._v[i] / (1 - beta2**self._adam_t)
+            param -= self._lr * m_hat / (np.sqrt(v_hat) + eps)
+
+    # ------------------------------------------------------------------ #
+
+    def get_parameters(self) -> list[np.ndarray]:
+        """Copies of all parameters (weights then biases)."""
+        return [w.copy() for w in self._weights] + [b.copy() for b in self._biases]
+
+    def set_parameters(self, parameters: list[np.ndarray]) -> None:
+        """Load parameters produced by :meth:`get_parameters` (target nets)."""
+        count = self.num_layers
+        if len(parameters) != 2 * count:
+            raise ValueError(
+                f"expected {2 * count} parameter arrays, got {len(parameters)}"
+            )
+        for i in range(count):
+            self._weights[i][...] = parameters[i]
+            self._biases[i][...] = parameters[count + i]

@@ -1,0 +1,51 @@
+"""Experience replay buffer for the deep-Q baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One ``(s, a, r, s', done)`` experience tuple."""
+
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+    done: bool
+
+
+class ReplayBuffer:
+    """Fixed-capacity ring buffer with uniform sampling."""
+
+    def __init__(self, capacity: int, rng: np.random.Generator):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._rng = rng
+        self._items: list[Transition] = []
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def push(self, transition: Transition) -> None:
+        """Insert, overwriting the oldest item when full."""
+        if len(self._items) < self._capacity:
+            self._items.append(transition)
+        else:
+            self._items[self._cursor] = transition
+            self._cursor = (self._cursor + 1) % self._capacity
+
+    def sample(self, batch_size: int) -> list[Transition]:
+        """Uniform sample without replacement (capped at the buffer size)."""
+        count = min(batch_size, len(self._items))
+        picks = self._rng.choice(len(self._items), size=count, replace=False)
+        return [self._items[i] for i in picks]

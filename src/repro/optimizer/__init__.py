@@ -1,0 +1,26 @@
+"""The what-if query optimizer substrate (the right-hand box of Figure 1).
+
+This package plays the role SQL Server's extended optimizer plays in the
+paper: given a query and a *hypothetical* index configuration it returns an
+estimated cost without building anything. The public entry point is
+:class:`~repro.optimizer.whatif.WhatIfOptimizer`, which adds the two pieces
+of bookkeeping budget-aware tuning relies on — a what-if cache and a counted
+budget — plus :mod:`~repro.optimizer.derivation` implementing derived cost
+(Section 3.1) and :mod:`~repro.optimizer.matrix` implementing the budget
+allocation matrix formalism (Section 3.2).
+"""
+
+from repro.optimizer.cost_model import CostModel, CostModelParams
+from repro.optimizer.derivation import CostDerivation
+from repro.optimizer.matrix import BudgetAllocationMatrix, Layout
+from repro.optimizer.whatif import BudgetMeter, WhatIfOptimizer
+
+__all__ = [
+    "BudgetAllocationMatrix",
+    "BudgetMeter",
+    "CostDerivation",
+    "CostModel",
+    "CostModelParams",
+    "Layout",
+    "WhatIfOptimizer",
+]

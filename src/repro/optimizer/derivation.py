@@ -1,0 +1,152 @@
+"""Cost derivation (Section 3.1).
+
+The derived cost of a configuration ``C`` for a query ``q`` is the minimum
+known what-if cost over subsets of ``C``::
+
+    d(q, C) = min_{S ⊆ C, c(q,S) known} c(q, S)          (Equation 1)
+
+Under the monotonicity assumption (Assumption 1) this is an upper bound on
+the true what-if cost, and it equals the what-if cost whenever ``c(q, C)``
+itself is known. The restriction to singleton subsets (Equation 2) — the
+form for which the paper proves submodularity (Theorem 1) — is exposed as
+:meth:`CostDerivation.singleton_derived_cost`.
+
+The store keeps singleton observations in a per-query dict (O(|C|) probes)
+and larger observations in a per-query list scanned with subset tests; in
+budget-constrained runs the latter stays short (at most one entry per
+counted call on the query), keeping derivation cheap enough to be treated
+as "free" the way the paper does.
+"""
+
+from __future__ import annotations
+
+from repro.catalog import Index
+
+
+class CostDerivation:
+    """Incrementally maintained store of known what-if costs per query."""
+
+    def __init__(self) -> None:
+        self._exact: dict[tuple[str, frozenset[Index]], float] = {}
+        self._singletons: dict[str, dict[Index, float]] = {}
+        self._compound: dict[str, list[tuple[frozenset[Index], float]]] = {}
+        # Secondary index: compound entries per (qid, member index) — lets
+        # greedy probe "does adding z tighten d(q, C ∪ {z})?" in O(entries
+        # containing z) instead of scanning all compounds.
+        self._compound_by_member: dict[
+            tuple[str, Index], list[tuple[frozenset[Index], float]]
+        ] = {}
+        self._empty: dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def record(self, qid: str, configuration: frozenset[Index], cost: float) -> None:
+        """Record an observed what-if cost ``c(q, C)``."""
+        key = (qid, configuration)
+        previous = self._exact.get(key)
+        if previous is not None and previous <= cost:
+            return
+        self._exact[key] = cost
+        size = len(configuration)
+        if size == 0:
+            self._empty[qid] = cost
+        elif size == 1:
+            (index,) = configuration
+            self._singletons.setdefault(qid, {})[index] = cost
+        else:
+            entry = (configuration, cost)
+            self._compound.setdefault(qid, []).append(entry)
+            for member in configuration:
+                self._compound_by_member.setdefault((qid, member), []).append(entry)
+
+    def known_cost(self, qid: str, configuration: frozenset[Index]) -> float | None:
+        """The recorded what-if cost for the exact pair, if any."""
+        return self._exact.get((qid, configuration))
+
+    def observations(self, qid: str) -> int:
+        """Number of distinct recorded configurations for ``qid``."""
+        return (
+            (1 if qid in self._empty else 0)
+            + len(self._singletons.get(qid, ()))
+            + len(self._compound.get(qid, ()))
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def derived_cost(
+        self, qid: str, configuration: frozenset[Index], empty_cost: float
+    ) -> float:
+        """``d(q, C)`` per Equation 1.
+
+        Args:
+            qid: Query id.
+            configuration: The configuration to derive a cost for.
+            empty_cost: ``c(q, ∅)`` — always a known subset cost.
+        """
+        best = self._empty.get(qid, empty_cost)
+        exact = self._exact.get((qid, configuration))
+        if exact is not None and exact < best:
+            best = exact
+        singletons = self._singletons.get(qid)
+        if singletons:
+            for index in configuration:
+                cost = singletons.get(index)
+                if cost is not None and cost < best:
+                    best = cost
+        for entry, cost in self._compound.get(qid, ()):
+            if cost < best and entry.issubset(configuration):
+                best = cost
+        return best
+
+    def derived_cost_with_extra(
+        self,
+        qid: str,
+        base_derived: float,
+        configuration_with_extra: frozenset[Index],
+        extra: Index,
+    ) -> float:
+        """``d(q, C ∪ {z})`` given ``base_derived = d(q, C)``.
+
+        Only observations *containing* ``z`` can tighten the base value, so
+        the probe touches the singleton entry for ``z`` plus the compound
+        entries listing ``z`` as a member.
+        """
+        best = base_derived
+        singletons = self._singletons.get(qid)
+        if singletons:
+            cost = singletons.get(extra)
+            if cost is not None and cost < best:
+                best = cost
+        for entry, cost in self._compound_by_member.get((qid, extra), ()):
+            if cost < best and entry.issubset(configuration_with_extra):
+                best = cost
+        return best
+
+    def singleton_derived_cost(
+        self, qid: str, configuration: frozenset[Index], empty_cost: float
+    ) -> float:
+        """``d(q, C)`` restricted to singleton subsets (Equation 2)."""
+        best = self._empty.get(qid, empty_cost)
+        singletons = self._singletons.get(qid)
+        if singletons:
+            for index in configuration:
+                cost = singletons.get(index)
+                if cost is not None and cost < best:
+                    best = cost
+        return best
+
+    def has_observation(self, qid: str, index: Index) -> bool:
+        """Whether any recorded configuration for ``qid`` contains ``index``.
+
+        When false, ``d(q, C ∪ {index}) = d(q, C)`` for every ``C`` — no
+        observation can tighten the bound — so derived-only search can skip
+        the pair entirely.
+        """
+        singletons = self._singletons.get(qid)
+        if singletons and index in singletons:
+            return True
+        return (qid, index) in self._compound_by_member
+
+    def singleton_costs(self, qid: str) -> dict[Index, float]:
+        """All recorded singleton costs for ``qid`` (copy)."""
+        return dict(self._singletons.get(qid, ()))

@@ -1,0 +1,140 @@
+"""The budget allocation matrix formalism (Section 3.2).
+
+The budget allocation matrix ``B`` has one (conceptual) row per configuration
+in ``2^I − {∅}`` and one column per workload query; a cell is 1 when the
+corresponding what-if cost is known. A *layout* (Definition 1) is the ordered
+trace of which cells a tuning run filled. The matrix is exponential in
+``|I|``, so this implementation stores only the filled cells — exactly what
+an enumeration run can ever touch (at most ``B`` of them, Equation 3).
+
+The classes here are analysis/bookkeeping tools: tuners produce layouts via
+the :class:`~repro.optimizer.whatif.WhatIfOptimizer` call log, and tests use
+the matrix to verify budget accounting and the order-insensitivity theorem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog import Index
+from repro.exceptions import TuningError
+
+
+@dataclass(frozen=True)
+class LayoutEntry:
+    """One step of a layout: the ``b``-th what-if call filled cell ``(C, q)``."""
+
+    step: int
+    configuration: frozenset[Index]
+    qid: str
+
+
+class Layout:
+    """An ordered mapping ``φ : [B] → cells`` (Definition 1)."""
+
+    def __init__(self, entries: list[LayoutEntry] | None = None):
+        self._entries: list[LayoutEntry] = []
+        for entry in entries or []:
+            self._append(entry)
+
+    def _append(self, entry: LayoutEntry) -> None:
+        expected = len(self._entries) + 1
+        if entry.step != expected:
+            raise TuningError(
+                f"layout steps must be contiguous: expected {expected}, "
+                f"got {entry.step}"
+            )
+        self._entries.append(entry)
+
+    def record(self, configuration: frozenset[Index], qid: str) -> LayoutEntry:
+        """Append the next step filling cell ``(configuration, qid)``."""
+        entry = LayoutEntry(
+            step=len(self._entries) + 1,
+            configuration=frozenset(configuration),
+            qid=qid,
+        )
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __getitem__(self, position: int) -> LayoutEntry:
+        return self._entries[position]
+
+    @property
+    def cells(self) -> set[tuple[frozenset[Index], str]]:
+        """The *outcome* of the layout: the set of filled cells, unordered."""
+        return {(entry.configuration, entry.qid) for entry in self._entries}
+
+    def same_outcome(self, other: "Layout") -> bool:
+        """Whether two layouts fill exactly the same cells (Theorem 3's premise)."""
+        return self.cells == other.cells
+
+
+class BudgetAllocationMatrix:
+    """Sparse view of the budget allocation matrix ``B``.
+
+    Args:
+        qids: The workload's query ids (the matrix columns).
+        budget: The budget ``B``; the matrix refuses to fill more cells.
+    """
+
+    def __init__(self, qids: list[str], budget: int):
+        if budget < 0:
+            raise TuningError(f"budget must be non-negative, got {budget}")
+        if len(set(qids)) != len(qids):
+            raise TuningError("duplicate query ids in matrix columns")
+        self._qids = list(qids)
+        self._budget = budget
+        self._layout = Layout()
+        self._filled: set[tuple[frozenset[Index], str]] = set()
+
+    @property
+    def budget(self) -> int:
+        return self._budget
+
+    @property
+    def layout(self) -> Layout:
+        return self._layout
+
+    @property
+    def filled_cells(self) -> int:
+        """Total value of all cells — bounded by ``B`` per Equation 3."""
+        return len(self._filled)
+
+    def value(self, configuration: frozenset[Index], qid: str) -> int:
+        """``v(B_ij)``: 1 if the cell has been filled, else 0."""
+        return 1 if (frozenset(configuration), qid) in self._filled else 0
+
+    def fill(self, configuration: frozenset[Index], qid: str) -> bool:
+        """Mark cell ``(configuration, qid)`` as evaluated.
+
+        Returns:
+            ``True`` if the cell was newly filled (consuming budget),
+            ``False`` if it was already filled (a cached what-if call).
+
+        Raises:
+            TuningError: If ``qid`` is not a matrix column or filling a new
+                cell would exceed the budget.
+        """
+        if qid not in self._qids:
+            raise TuningError(f"unknown query id {qid!r} for matrix column")
+        key = (frozenset(configuration), qid)
+        if key in self._filled:
+            return False
+        if len(self._filled) >= self._budget:
+            raise TuningError(
+                f"cannot fill cell beyond budget of {self._budget} what-if calls"
+            )
+        self._filled.add(key)
+        self._layout.record(key[0], qid)
+        return True
+
+    def row(self, configuration: frozenset[Index]) -> dict[str, int]:
+        """The full row of cell values for ``configuration``."""
+        key = frozenset(configuration)
+        return {qid: 1 if (key, qid) in self._filled else 0 for qid in self._qids}

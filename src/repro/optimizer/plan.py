@@ -1,0 +1,87 @@
+"""Plan (EXPLAIN) structures returned by the cost model's explain mode."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AccessPlan:
+    """The chosen access path for one table access.
+
+    Attributes:
+        binding: Access binding (alias).
+        table: Table name.
+        method: ``"heap_scan"``, ``"index_seek"``, ``"index_only_seek"``,
+            ``"index_only_scan"`` or ``"inl_join_probe"``.
+        index: Display string of the index used (``None`` for heap scans).
+        rows: Estimated output rows.
+        cost: Estimated operator cost.
+    """
+
+    binding: str
+    table: str
+    method: str
+    index: str | None
+    rows: float
+    cost: float
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """One join step of the left-deep pipeline.
+
+    Attributes:
+        method: ``"hash_join"`` or ``"index_nested_loop"``.
+        inner: The inner side's access plan.
+        rows: Estimated output rows of the join.
+        cost: Estimated cost of the join operator (inner access included).
+    """
+
+    method: str
+    inner: AccessPlan
+    rows: float
+    cost: float
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A full explain output for one what-if costing.
+
+    Attributes:
+        qid: Query id.
+        first: Access plan opening the pipeline.
+        joins: Join steps in execution order.
+        sort_cost: Cost of the final sort/group stage (0 when avoided).
+        sort_avoided: Whether an index order made the sort unnecessary.
+        total_cost: Total estimated cost — what the what-if call returns.
+    """
+
+    qid: str
+    first: AccessPlan
+    joins: tuple[JoinPlan, ...] = ()
+    sort_cost: float = 0.0
+    sort_avoided: bool = False
+    total_cost: float = 0.0
+
+    def render(self) -> str:
+        """Readable multi-line EXPLAIN text."""
+        lines = [f"Plan for {self.qid} (cost={self.total_cost:.1f})"]
+        lines.append(
+            f"  {self.first.method} {self.first.table} [{self.first.binding}]"
+            + (f" via {self.first.index}" if self.first.index else "")
+            + f" rows={self.first.rows:.0f} cost={self.first.cost:.1f}"
+        )
+        for join in self.joins:
+            inner = join.inner
+            lines.append(
+                f"  {join.method} -> {inner.table} [{inner.binding}]"
+                + (f" via {inner.index}" if inner.index else "")
+                + f" rows={join.rows:.0f} cost={join.cost:.1f}"
+            )
+        if self.sort_cost > 0:
+            lines.append(f"  sort cost={self.sort_cost:.1f}")
+        elif self.sort_avoided:
+            lines.append("  sort avoided (index order)")
+        return "\n".join(lines)
+

@@ -1,0 +1,227 @@
+"""Configuration-independent query preparation.
+
+Everything about a query that does *not* depend on the index configuration —
+per-access selectivities, output cardinalities, the join order, per-edge join
+selectivities — is computed once here and cached. A what-if call then only
+has to price access paths and join operators against the configuration,
+which keeps thousands of what-if calls per tuning session cheap.
+
+Fixing the join order independently of the configuration also gives the cost
+model an exact *monotonicity* guarantee (the paper's Assumption 1): adding
+indexes can only add plan options to a fixed operator skeleton, so the
+minimum cost never increases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog import Schema, Table
+from repro.optimizer import selectivity as sel
+from repro.workload.analysis import BoundJoin, BoundQuery, PredicateKind, TableAccess
+
+
+@dataclass
+class PreparedAccess:
+    """Precomputed facts about one table access.
+
+    Attributes:
+        binding: The access binding (alias).
+        table: Catalog table object.
+        local_selectivity: Product of all filter-predicate selectivities.
+        equality_selectivity: Per-column combined selectivity of EQUALITY
+            predicates (seekable as exact key matches).
+        range_selectivity: Per-column combined selectivity of RANGE
+            predicates (seekable as the closing seek column).
+        residual_selectivity: Combined selectivity of RESIDUAL predicates
+            (never seekable).
+        required_columns: Columns an index must carry to cover this access.
+        output_rows: Estimated rows surviving all filters.
+        filter_count: Number of filter predicates (costed as CPU work).
+    """
+
+    binding: str
+    table: Table
+    local_selectivity: float
+    equality_selectivity: dict[str, float]
+    range_selectivity: dict[str, float]
+    residual_selectivity: float
+    required_columns: frozenset[str]
+    output_rows: float
+    filter_count: int
+
+
+@dataclass
+class PreparedJoinStep:
+    """One step of the left-deep join pipeline.
+
+    Attributes:
+        access: The inner (newly joined) table access.
+        join_columns: Inner-side join columns connecting this access to the
+            already-joined prefix (usually one; multiple for multi-edge
+            connections).
+        edge_selectivity: Product of join selectivities of the connecting
+            edges.
+        output_rows: Estimated cardinality after this join step.
+    """
+
+    access: PreparedAccess
+    join_columns: tuple[str, ...]
+    edge_selectivity: float
+    output_rows: float
+
+
+@dataclass
+class PreparedQuery:
+    """A query fully prepared for configuration costing.
+
+    Attributes:
+        qid: Source query id.
+        accesses: All prepared accesses keyed by binding.
+        first_binding: The access opening the left-deep pipeline.
+        join_steps: Remaining accesses in join order.
+        final_rows: Estimated output cardinality before grouping.
+        order_columns: For single-access queries, the ``(column, ...)`` an
+            access path must be keyed on (as a prefix) to avoid the sort;
+            empty when no sort is needed or sort avoidance is impossible.
+        sort_rows: Rows entering the sort/group stage (0 when none needed).
+        aggregate_only: True when the stage serves only a GROUP BY (no
+            ORDER BY), so a hash aggregate can replace the sort.
+    """
+
+    qid: str
+    accesses: dict[str, PreparedAccess]
+    first_binding: str
+    join_steps: list[PreparedJoinStep]
+    final_rows: float
+    order_columns: tuple[str, ...] = ()
+    sort_rows: float = 0.0
+    aggregate_only: bool = False
+
+    @property
+    def bindings(self) -> list[str]:
+        return list(self.accesses)
+
+
+def _prepare_access(schema: Schema, access: TableAccess) -> PreparedAccess:
+    table = schema.table(access.table)
+    equality: dict[str, float] = {}
+    ranges: dict[str, float] = {}
+    residual = 1.0
+    local = 1.0
+    for predicate in access.filters:
+        column = table.column(predicate.column)
+        s = sel.predicate_selectivity(column, predicate)
+        local *= s
+        if predicate.kind is PredicateKind.EQUALITY:
+            equality[predicate.column] = equality.get(predicate.column, 1.0) * s
+        elif predicate.kind is PredicateKind.RANGE:
+            ranges[predicate.column] = ranges.get(predicate.column, 1.0) * s
+        else:
+            residual *= s
+    local = max(local, sel.MIN_SELECTIVITY)
+    return PreparedAccess(
+        binding=access.binding,
+        table=table,
+        local_selectivity=local,
+        equality_selectivity=equality,
+        range_selectivity=ranges,
+        residual_selectivity=residual,
+        required_columns=frozenset(access.required_columns),
+        output_rows=max(1.0, table.row_count * local),
+        filter_count=len(access.filters),
+    )
+
+
+def _choose_join_order(
+    accesses: dict[str, PreparedAccess], joins: list[BoundJoin]
+) -> list[str]:
+    """Greedy smallest-cardinality-first left-deep order.
+
+    Starts from the access with the fewest estimated output rows; at each
+    step prefers bindings connected to the current prefix by a join edge
+    (falling back to a cross product only when the join graph is
+    disconnected), picking the connected binding with the fewest rows.
+    """
+    remaining = set(accesses)
+    order: list[str] = []
+    current = min(remaining, key=lambda b: (accesses[b].output_rows, b))
+    order.append(current)
+    remaining.discard(current)
+    joined = {current}
+    while remaining:
+        connected = {
+            join.other_binding(binding)
+            for join in joins
+            for binding in joined
+            if join.touches(binding) and join.other_binding(binding) in remaining
+        }
+        pool = connected or remaining
+        nxt = min(pool, key=lambda b: (accesses[b].output_rows, b))
+        order.append(nxt)
+        remaining.discard(nxt)
+        joined.add(nxt)
+    return order
+
+
+def prepare_query(schema: Schema, bound: BoundQuery) -> PreparedQuery:
+    """Prepare ``bound`` for repeated configuration costing."""
+    accesses = {
+        binding: _prepare_access(schema, access)
+        for binding, access in bound.accesses.items()
+    }
+    order = _choose_join_order(accesses, bound.joins)
+
+    steps: list[PreparedJoinStep] = []
+    joined = {order[0]}
+    rows = accesses[order[0]].output_rows
+    for binding in order[1:]:
+        access = accesses[binding]
+        join_columns: list[str] = []
+        edge_selectivity = 1.0
+        for join in bound.joins:
+            if not join.touches(binding):
+                continue
+            other = join.other_binding(binding)
+            if other not in joined:
+                continue
+            _, inner_column = join.side(binding)
+            if inner_column not in join_columns:
+                join_columns.append(inner_column)
+            other_table, other_column = join.side(other)
+            edge_selectivity *= sel.join_selectivity(
+                accesses[other].table.column(other_column),
+                access.table.column(inner_column),
+            )
+        rows = max(1.0, rows * access.output_rows * edge_selectivity)
+        steps.append(
+            PreparedJoinStep(
+                access=access,
+                join_columns=tuple(join_columns),
+                edge_selectivity=edge_selectivity,
+                output_rows=rows,
+            )
+        )
+        joined.add(binding)
+
+    needs_sort = bool(bound.group_by or bound.order_by)
+    order_columns: tuple[str, ...] = ()
+    if needs_sort and len(accesses) == 1:
+        # Sort avoidance is modelled for single-access queries: an index
+        # keyed on the grouping/ordering columns delivers rows pre-ordered.
+        wanted = bound.group_by or [(b, c) for b, c, _ in bound.order_by]
+        only_binding = order[0]
+        if all(binding == only_binding for binding, _ in wanted):
+            order_columns = tuple(column for _, column in wanted)
+
+    return PreparedQuery(
+        qid=bound.qid,
+        accesses=accesses,
+        first_binding=order[0],
+        join_steps=steps,
+        final_rows=rows,
+        order_columns=order_columns,
+        sort_rows=rows if needs_sort else 0.0,
+        aggregate_only=bool(bound.group_by) and not bound.order_by,
+    )
+

@@ -1,0 +1,145 @@
+"""Predicate selectivity estimation from column statistics.
+
+Implements the textbook estimators real optimizers use in the absence of
+histograms: uniform-distribution equality selectivity ``1/NDV``, linear
+interpolation over the value domain for ranges, magic constants for
+unsargable predicates. Estimates are clamped to ``[MIN_SELECTIVITY, 1]`` so
+downstream cardinalities never collapse to zero.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.column import Column
+
+#: Floor applied to every selectivity estimate.
+MIN_SELECTIVITY = 1e-6
+
+#: Default selectivity for unsargable predicates (<>, NOT LIKE, ...).
+RESIDUAL_SELECTIVITY = 0.9
+
+#: Default selectivity for LIKE with a leading wildcard.
+WILDCARD_LIKE_SELECTIVITY = 0.1
+
+
+def _clamp(value: float) -> float:
+    return max(MIN_SELECTIVITY, min(1.0, value))
+
+
+def equality_selectivity(column: Column) -> float:
+    """Selectivity of ``column = literal`` under uniformity: ``1/NDV``."""
+    return _clamp((1.0 - column.stats.null_fraction) / column.stats.distinct_count)
+
+
+def range_selectivity(column: Column, op: str, value: float) -> float:
+    """Selectivity of ``column op value`` by domain interpolation.
+
+    Falls back to 1/3 (the classic System-R default) when the column is
+    non-numeric or the literal is not a number.
+    """
+    stats = column.stats
+    if not column.ctype.is_numeric or not isinstance(value, (int, float)):
+        return _clamp(1.0 / 3.0)
+    if stats.domain_span <= 0:
+        return _clamp(1.0 / 3.0)
+    position = (value - stats.min_value) / stats.domain_span
+    position = max(0.0, min(1.0, position))
+    if op in ("<", "<="):
+        fraction = position
+    elif op in (">", ">="):
+        fraction = 1.0 - position
+    else:
+        fraction = 1.0 / 3.0
+    return _clamp(fraction * (1.0 - stats.null_fraction))
+
+
+def between_selectivity(column: Column, low: float, high: float) -> float:
+    """Selectivity of ``column BETWEEN low AND high``."""
+    stats = column.stats
+    if (
+        not column.ctype.is_numeric
+        or not isinstance(low, (int, float))
+        or not isinstance(high, (int, float))
+        or stats.domain_span <= 0
+    ):
+        return _clamp(1.0 / 4.0)
+    if high < low:
+        return MIN_SELECTIVITY
+    lo = max(stats.min_value, low)
+    hi = min(stats.max_value, high)
+    if hi < lo:
+        return MIN_SELECTIVITY
+    fraction = (hi - lo) / stats.domain_span
+    return _clamp(fraction * (1.0 - stats.null_fraction))
+
+
+def in_selectivity(column: Column, count: int) -> float:
+    """Selectivity of ``column IN (v1..vk)``: ``k/NDV`` capped at 1."""
+    return _clamp(count * equality_selectivity(column))
+
+
+def like_prefix_selectivity(column: Column, pattern: str) -> float:
+    """Selectivity of a sargable (prefix) ``LIKE``.
+
+    Longer fixed prefixes are more selective; each prefix character narrows
+    by a constant factor, floored by the equality selectivity.
+    """
+    prefix_length = 0
+    for ch in pattern:
+        if ch in ("%", "_"):
+            break
+        prefix_length += 1
+    if prefix_length == 0:
+        return _clamp(WILDCARD_LIKE_SELECTIVITY)
+    narrowing = 0.2**min(prefix_length, 6)
+    return _clamp(max(narrowing, equality_selectivity(column)))
+
+
+def null_selectivity(column: Column, negated: bool) -> float:
+    """Selectivity of ``IS NULL`` / ``IS NOT NULL`` from the null fraction."""
+    fraction = column.stats.null_fraction
+    return _clamp(1.0 - fraction if negated else max(fraction, MIN_SELECTIVITY))
+
+
+def predicate_selectivity(column: Column, predicate) -> float:
+    """Dispatch on a :class:`~repro.workload.analysis.BoundPredicate`.
+
+    Args:
+        column: Statistics of the filtered column.
+        predicate: The bound predicate (typed loosely to avoid an import
+            cycle with :mod:`repro.workload.analysis`).
+    """
+    op = predicate.op
+    values = predicate.values
+    if op == "=":
+        return equality_selectivity(column)
+    if op == "IN":
+        return in_selectivity(column, len(values))
+    if op == "BETWEEN":
+        return between_selectivity(column, values[0], values[1])
+    if op in ("<", ">", "<=", ">="):
+        return range_selectivity(column, op, values[0])
+    if op == "LIKE":
+        return like_prefix_selectivity(column, str(values[0]))
+    if op == "NOT LIKE":
+        return _clamp(RESIDUAL_SELECTIVITY)
+    if op == "IS NULL":
+        return null_selectivity(column, negated=False)
+    if op == "IS NOT NULL":
+        return null_selectivity(column, negated=True)
+    if op == "<>":
+        return _clamp(1.0 - equality_selectivity(column))
+    return _clamp(RESIDUAL_SELECTIVITY)
+
+
+def join_selectivity(left_column: Column, right_column: Column) -> float:
+    """Equi-join selectivity ``1/max(NDV_l, NDV_r)`` (System-R estimator).
+
+    Unlike filter selectivities, join selectivities are *not* floored at
+    :data:`MIN_SELECTIVITY`: key/foreign-key joins against billion-row
+    tables legitimately have selectivities far below 1e-6, and flooring
+    them would inflate join cardinalities by orders of magnitude.
+    """
+    ndv = max(
+        left_column.stats.distinct_count, right_column.stats.distinct_count, 1
+    )
+    return min(1.0, 1.0 / ndv)

@@ -1,0 +1,23 @@
+"""A small SQL front-end: lexer, AST and recursive-descent parser.
+
+The grammar covers the analytic SELECT subset index tuners care about —
+joins (both comma-style and ``JOIN .. ON``), conjunctive WHERE predicates
+(comparison, ``BETWEEN``, ``IN``, ``LIKE``, ``IS NULL``), aggregates,
+``GROUP BY`` and ``ORDER BY``. Anything else (DML, subqueries, outer joins)
+is rejected with a precise :class:`~repro.exceptions.SQLSyntaxError`.
+"""
+
+from repro.sqlparser.lexer import Lexer, tokenize
+from repro.sqlparser.parser import Parser, parse_select
+from repro.sqlparser.tokens import Token, TokenType
+from repro.sqlparser import ast
+
+__all__ = [
+    "Lexer",
+    "Parser",
+    "Token",
+    "TokenType",
+    "ast",
+    "parse_select",
+    "tokenize",
+]

@@ -1,0 +1,183 @@
+"""Abstract syntax tree for the supported SELECT subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A column reference, optionally qualified: ``table.column`` or ``column``."""
+
+    column: str
+    table: str | None = None
+
+    def render(self) -> str:
+        """SQL rendering of the reference."""
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A literal value; ``value`` is ``float`` for numbers, ``str`` for strings."""
+
+    value: float | str
+
+    @property
+    def is_numeric(self) -> bool:
+        return isinstance(self.value, float)
+
+    def render(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        if self.value == int(self.value):
+            return str(int(self.value))
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate select item, e.g. ``SUM(l_extendedprice)`` or ``COUNT(*)``.
+
+    Attributes:
+        func: One of ``COUNT``, ``SUM``, ``AVG``, ``MIN``, ``MAX``.
+        argument: The aggregated column, or ``None`` for ``COUNT(*)``.
+    """
+
+    func: str
+    argument: ColumnRef | None = None
+
+    def render(self) -> str:
+        inner = self.argument.render() if self.argument else "*"
+        return f"{self.func}({inner})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of the projection list.
+
+    Attributes:
+        expression: A :class:`ColumnRef`, an :class:`Aggregate`, or the
+            string ``"*"`` for a bare star.
+        alias: Optional ``AS`` alias.
+    """
+
+    expression: ColumnRef | Aggregate | str
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-clause table with an optional alias."""
+
+    table: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is referred to by within the query."""
+        return self.alias or self.table
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` where operands are column refs or literals.
+
+    ``op`` is one of ``=``, ``<``, ``>``, ``<=``, ``>=``, ``<>``. A
+    comparison between two :class:`ColumnRef` operands is a join predicate;
+    between a column and a literal, a filter predicate.
+    """
+
+    left: ColumnRef | Literal
+    op: str
+    right: ColumnRef | Literal
+
+    @property
+    def is_join(self) -> bool:
+        return isinstance(self.left, ColumnRef) and isinstance(self.right, ColumnRef)
+
+
+@dataclass(frozen=True)
+class Between:
+    """``column BETWEEN low AND high`` (inclusive range)."""
+
+    column: ColumnRef
+    low: Literal
+    high: Literal
+
+
+@dataclass(frozen=True)
+class InList:
+    """``column IN (v1, v2, ...)``."""
+
+    column: ColumnRef
+    values: tuple[Literal, ...]
+
+
+@dataclass(frozen=True)
+class Like:
+    """``column LIKE pattern`` — ``negated`` for ``NOT LIKE``."""
+
+    column: ColumnRef
+    pattern: str
+    negated: bool = False
+
+    @property
+    def has_leading_wildcard(self) -> bool:
+        """Whether the pattern starts with ``%``/``_`` (defeats index seeks)."""
+        return self.pattern.startswith(("%", "_"))
+
+
+@dataclass(frozen=True)
+class IsNull:
+    """``column IS [NOT] NULL``."""
+
+    column: ColumnRef
+    negated: bool = False
+
+
+#: Union of predicate node types produced by the parser.
+Predicate = Comparison | Between | InList | Like | IsNull
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY element."""
+
+    column: ColumnRef
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A parsed SELECT statement.
+
+    The WHERE clause is a flat conjunction: the grammar only admits
+    ``AND``-connected predicates, mirroring the workloads the paper tunes
+    (star/snowflake analytics with conjunctive filter and join predicates).
+    """
+
+    select_items: tuple[SelectItem, ...]
+    tables: tuple[TableRef, ...]
+    predicates: tuple[Predicate, ...] = ()
+    group_by: tuple[ColumnRef, ...] = ()
+    order_by: tuple[OrderItem, ...] = ()
+    distinct: bool = False
+    limit: int | None = None
+
+    @property
+    def join_predicates(self) -> tuple[Comparison, ...]:
+        """Equality comparisons between two column references."""
+        return tuple(
+            p
+            for p in self.predicates
+            if isinstance(p, Comparison) and p.is_join and p.op == "="
+        )
+
+    @property
+    def filter_predicates(self) -> tuple[Predicate, ...]:
+        """All predicates that are not join predicates."""
+        joins = set(self.join_predicates)
+        return tuple(p for p in self.predicates if p not in joins)
+

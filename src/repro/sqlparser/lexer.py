@@ -1,0 +1,142 @@
+"""Hand-written SQL lexer."""
+
+from __future__ import annotations
+
+from repro.exceptions import SQLSyntaxError
+from repro.sqlparser.tokens import KEYWORDS, Token, TokenType
+
+_OPERATOR_STARTS = "=<>!"
+_TWO_CHAR_OPERATORS = {"<=", ">=", "<>", "!="}
+
+
+class Lexer:
+    """Converts SQL text into a token stream.
+
+    The lexer is line-agnostic; positions are character offsets. Comments
+    (``-- ..`` to end of line) and arbitrary whitespace are skipped.
+    """
+
+    def __init__(self, sql: str):
+        self._sql = sql
+        self._pos = 0
+        self._length = len(sql)
+
+    def tokens(self) -> list[Token]:
+        """Lex the whole input and return all tokens plus a trailing EOF."""
+        result: list[Token] = []
+        while True:
+            token = self._next_token()
+            result.append(token)
+            if token.ttype is TokenType.EOF:
+                return result
+
+    def _error(self, message: str) -> SQLSyntaxError:
+        return SQLSyntaxError(
+            f"{message} at position {self._pos}", sql=self._sql, position=self._pos
+        )
+
+    def _skip_trivia(self) -> None:
+        while self._pos < self._length:
+            ch = self._sql[self._pos]
+            if ch.isspace():
+                self._pos += 1
+            elif self._sql.startswith("--", self._pos):
+                newline = self._sql.find("\n", self._pos)
+                self._pos = self._length if newline == -1 else newline + 1
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        if self._pos >= self._length:
+            return Token(TokenType.EOF, "", self._pos)
+
+        start = self._pos
+        ch = self._sql[start]
+
+        if ch.isalpha() or ch == "_":
+            return self._lex_word(start)
+        if ch.isdigit() or (ch == "." and self._peek_digit(start + 1)):
+            return self._lex_number(start)
+        if ch == "'":
+            return self._lex_string(start)
+        if ch in _OPERATOR_STARTS:
+            return self._lex_operator(start)
+
+        single = {
+            ",": TokenType.COMMA,
+            ".": TokenType.DOT,
+            "(": TokenType.LPAREN,
+            ")": TokenType.RPAREN,
+            "*": TokenType.STAR,
+            "-": TokenType.MINUS,
+            ";": TokenType.SEMICOLON,
+        }
+        if ch in single:
+            self._pos += 1
+            return Token(single[ch], ch, start)
+
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _peek_digit(self, pos: int) -> bool:
+        return pos < self._length and self._sql[pos].isdigit()
+
+    def _lex_word(self, start: int) -> Token:
+        end = start
+        while end < self._length and (self._sql[end].isalnum() or self._sql[end] == "_"):
+            end += 1
+        self._pos = end
+        word = self._sql[start:end]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            return Token(TokenType.KEYWORD, upper, start)
+        return Token(TokenType.IDENTIFIER, word, start)
+
+    def _lex_number(self, start: int) -> Token:
+        end = start
+        seen_dot = False
+        while end < self._length:
+            ch = self._sql[end]
+            if ch.isdigit():
+                end += 1
+            elif ch == "." and not seen_dot:
+                seen_dot = True
+                end += 1
+            else:
+                break
+        self._pos = end
+        return Token(TokenType.NUMBER, self._sql[start:end], start)
+
+    def _lex_string(self, start: int) -> Token:
+        # Single-quoted literal; '' escapes an embedded quote.
+        end = start + 1
+        pieces: list[str] = []
+        while end < self._length:
+            ch = self._sql[end]
+            if ch == "'":
+                if end + 1 < self._length and self._sql[end + 1] == "'":
+                    pieces.append("'")
+                    end += 2
+                    continue
+                self._pos = end + 1
+                return Token(TokenType.STRING, "".join(pieces), start)
+            pieces.append(ch)
+            end += 1
+        self._pos = start
+        raise self._error("unterminated string literal")
+
+    def _lex_operator(self, start: int) -> Token:
+        two = self._sql[start : start + 2]
+        if two in _TWO_CHAR_OPERATORS:
+            self._pos = start + 2
+            return Token(TokenType.OPERATOR, "<>" if two == "!=" else two, start)
+        ch = self._sql[start]
+        if ch in "=<>":
+            self._pos = start + 1
+            return Token(TokenType.OPERATOR, ch, start)
+        raise self._error(f"unexpected operator character {ch!r}")
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Convenience wrapper: lex ``sql`` into a token list ending in EOF."""
+    return Lexer(sql).tokens()

@@ -1,0 +1,46 @@
+"""Budget-aware configuration enumeration algorithms.
+
+* :class:`~repro.tuners.greedy.VanillaGreedyTuner` — Algorithm 1 with FCFS
+  budget allocation (Section 4.2.1).
+* :class:`~repro.tuners.twophase.TwoPhaseGreedyTuner` — Algorithm 2 with
+  FCFS (Section 4.2.2).
+* :class:`~repro.tuners.autoadmin.AutoAdminGreedyTuner` — two-phase greedy
+  restricted to atomic configurations (Section 4.2.2).
+* :class:`~repro.tuners.mcts.MCTSTuner` — the paper's contribution
+  (Sections 5-6), a facade over :mod:`repro.core`.
+* :class:`~repro.tuners.bandit.DBABanditTuner` — the DBA-bandits baseline
+  (Section 7.2.1).
+* :class:`~repro.tuners.dqn.NoDBATuner` — the No-DBA deep-Q baseline
+  (Section 7.2.2).
+* :class:`~repro.tuners.dta.DTATuner` — the DTA anytime-tuner simulation
+  (Section 7.3).
+* :class:`~repro.tuners.random_search.RandomSearchTuner` — a sanity-check
+  control not in the paper.
+"""
+
+from repro.tuners.base import Tuner, TuningResult, evaluated_cost
+from repro.tuners.greedy import VanillaGreedyTuner, greedy_enumerate
+from repro.tuners.twophase import TwoPhaseGreedyTuner
+from repro.tuners.autoadmin import AutoAdminGreedyTuner
+from repro.tuners.mcts import MCTSTuner
+from repro.tuners.bandit import DBABanditTuner
+from repro.tuners.dqn import NoDBATuner
+from repro.tuners.dta import DTATuner
+from repro.tuners.random_search import RandomSearchTuner
+from repro.tuners.timebudget import TimeBudgetedTuner
+
+__all__ = [
+    "AutoAdminGreedyTuner",
+    "DBABanditTuner",
+    "DTATuner",
+    "MCTSTuner",
+    "NoDBATuner",
+    "RandomSearchTuner",
+    "TimeBudgetedTuner",
+    "Tuner",
+    "TuningResult",
+    "TwoPhaseGreedyTuner",
+    "VanillaGreedyTuner",
+    "evaluated_cost",
+    "greedy_enumerate",
+]

@@ -1,0 +1,172 @@
+"""DBA bandits baseline (Section 7.2.1).
+
+Adaptation of Perera et al.'s C2UCB contextual combinatorial bandit to the
+paper's offline "static workload" protocol:
+
+* each *round* selects a super-arm — a configuration of up to ``K`` indexes —
+  by greedily maximising per-index UCB scores under the constraints;
+* the round is paid for with one what-if call per workload query (cached
+  pairs are free, which is what lets the bandit plateau in Figure 14);
+* per-index rewards are attributed from the plans: an index used by a
+  query's plan receives that query's improvement share, unused chosen
+  indexes receive zero;
+* a ridge-regression posterior over static index features (table size, key
+  shape, coverage breadth) drives exploration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog import Index
+from repro.config import TuningConstraints
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.rng import make_np_rng
+from repro.tuners.base import Tuner, evaluated_cost
+
+
+def table_query_counts(optimizer: WhatIfOptimizer) -> dict[str, int]:
+    """How many workload queries access each table (shared feature input)."""
+    counts: dict[str, int] = {}
+    for query in optimizer.workload:
+        prepared = optimizer.prepared(query)
+        for table_name in {a.table.name for a in prepared.accesses.values()}:
+            counts[table_name] = counts.get(table_name, 0) + 1
+    return counts
+
+
+def index_features(
+    optimizer: WhatIfOptimizer,
+    index: Index,
+    query_counts: dict[str, int] | None = None,
+) -> np.ndarray:
+    """Static featurization of a candidate index (the bandit's context).
+
+    Args:
+        optimizer: Source of schema/workload statistics.
+        index: The candidate to featurize.
+        query_counts: Optional precomputed :func:`table_query_counts`
+            (recomputed per call otherwise — pass it when featurizing many
+            candidates).
+    """
+    schema = optimizer.workload.schema
+    table = schema.table(index.table)
+    if query_counts is None:
+        query_counts = table_query_counts(optimizer)
+    relevant = query_counts.get(index.table, 0)
+    return np.array(
+        [
+            1.0,  # bias
+            np.log10(max(10, table.row_count)),
+            float(len(index.key_columns)),
+            float(len(index.include_columns)),
+            np.log10(max(1.0, index.estimated_size_bytes / 1e6)),
+            relevant / max(1, len(optimizer.workload)),
+        ]
+    )
+
+
+class DBABanditTuner(Tuner):
+    """C2UCB super-arm selection over candidate indexes.
+
+    Args:
+        alpha: UCB exploration multiplier.
+        ridge: Ridge regularisation λ of the linear posterior.
+        seed: RNG seed for tie-breaking.
+        max_rounds: Safety cap on rounds (the budget is the real stop).
+    """
+
+    name = "dba_bandits"
+
+    def __init__(
+        self,
+        alpha: float = 1.0,
+        ridge: float = 1.0,
+        seed: int | None = None,
+        max_rounds: int = 500,
+    ):
+        self._alpha = alpha
+        self._ridge = ridge
+        self._seed = seed
+        self._max_rounds = max_rounds
+
+    def _enumerate(
+        self,
+        optimizer: WhatIfOptimizer,
+        candidates: list[Index],
+        constraints: TuningConstraints,
+    ):
+        rng = make_np_rng(self._seed)
+        workload = optimizer.workload
+        query_counts = table_query_counts(optimizer)
+        features = {
+            ix: index_features(optimizer, ix, query_counts) for ix in candidates
+        }
+        dim = next(iter(features.values())).shape[0]
+
+        V = self._ridge * np.eye(dim)
+        b = np.zeros(dim)
+
+        baseline = optimizer.empty_workload_cost()
+        best: frozenset[Index] = frozenset()
+        best_cost = baseline
+        history: list[tuple[int, frozenset[Index]]] = []
+
+        for _ in range(self._max_rounds):
+            if optimizer.meter.exhausted:
+                break
+            V_inv = np.linalg.inv(V)
+            theta = V_inv @ b
+
+            # Greedy super-arm: top-K admissible indexes by UCB score.
+            scores: list[tuple[float, Index]] = []
+            for index in candidates:
+                x = features[index]
+                ucb = float(theta @ x + self._alpha * np.sqrt(x @ V_inv @ x))
+                scores.append((ucb + 1e-9 * rng.random(), index))
+            scores.sort(key=lambda item: -item[0])
+            arm: set[Index] = set()
+            for _, index in scores:
+                if len(arm) >= constraints.max_indexes:
+                    break
+                if constraints.admits(arm, extra_bytes=index.estimated_size_bytes):
+                    arm.add(index)
+            configuration = frozenset(arm)
+
+            # Play the round: one what-if call per query (FCFS), observe
+            # per-index rewards from the plans.
+            rewards: dict[Index, float] = {index: 0.0 for index in configuration}
+            round_cost = 0.0
+            by_display = {index.display(): index for index in configuration}
+            for query in workload:
+                cost = evaluated_cost(optimizer, query, configuration)
+                round_cost += query.weight * cost
+                empty = optimizer.empty_cost(query)
+                if empty <= 0:
+                    continue
+                improvement = max(0.0, 1.0 - cost / empty)
+                if improvement == 0.0:
+                    continue
+                plan = optimizer.explain(query, configuration)
+                used = set()
+                if plan.first.index and plan.first.index in by_display:
+                    used.add(by_display[plan.first.index])
+                for join in plan.joins:
+                    if join.inner.index and join.inner.index in by_display:
+                        used.add(by_display[join.inner.index])
+                if not used:
+                    continue
+                share = improvement / len(used)
+                for index in used:
+                    rewards[index] += share
+
+            for index in configuration:
+                x = features[index]
+                V += np.outer(x, x)
+                b += rewards[index] * x
+
+            if round_cost < best_cost:
+                best, best_cost = configuration, round_cost
+                history.append((optimizer.calls_used, best))
+
+        return best, history

@@ -1,0 +1,171 @@
+"""Tuner base classes and shared result types."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.catalog import Index
+from repro.config import TuningConstraints
+from repro.exceptions import BudgetExhaustedError, TuningError
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.workload.candidates import CandidateGenerator
+from repro.workload.query import Query, Workload
+
+
+def evaluated_cost(optimizer: WhatIfOptimizer, query: Query, configuration) -> float:
+    """``cost(q, C)`` under FCFS budget allocation.
+
+    Uses a counted what-if call while budget remains and falls back to the
+    derived cost once the budget is exhausted — the "first come first serve"
+    strategy of Section 4.2.1, reused by both greedy phases.
+    """
+    if optimizer.meter.exhausted:
+        # Fast path for the post-budget regime: cached pairs stay exact,
+        # everything else derives — without raising/catching per call.
+        if optimizer.is_cached(query, configuration):
+            return optimizer.whatif_cost(query, configuration)
+        return optimizer.derived_cost(query, configuration)
+    try:
+        return optimizer.whatif_cost(query, configuration)
+    except BudgetExhaustedError:
+        return optimizer.derived_cost(query, configuration)
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one tuning run.
+
+    Attributes:
+        tuner: Name of the producing algorithm.
+        configuration: The recommended configuration ``C_min``.
+        estimated_cost: The tuner's own (derived) cost estimate for it.
+        baseline_cost: ``cost(W, ∅)``.
+        calls_used: Counted what-if calls actually consumed.
+        budget: The budget the run was given.
+        history: Convergence checkpoints ``(calls_used, best_config)`` in
+            chronological order; used for the Figure 14/21 round plots.
+        optimizer: The what-if optimizer used (exposes cache/log for
+            inspection and uncounted ground-truth evaluation).
+    """
+
+    tuner: str
+    configuration: frozenset[Index]
+    estimated_cost: float
+    baseline_cost: float
+    calls_used: int
+    budget: int | None
+    history: list[tuple[int, frozenset[Index]]] = field(default_factory=list)
+    optimizer: WhatIfOptimizer | None = field(default=None, repr=False)
+
+    @property
+    def estimated_improvement(self) -> float:
+        """The tuner's believed percentage improvement (Equation 4)."""
+        if self.baseline_cost <= 0:
+            return 0.0
+        return (1.0 - self.estimated_cost / self.baseline_cost) * 100.0
+
+    def true_improvement(self) -> float:
+        """Ground-truth percentage improvement of the final configuration.
+
+        Matches the paper's evaluation protocol: the *actual what-if cost*
+        of the returned configuration, uncounted (Section 7).
+        """
+        if self.optimizer is None:
+            raise TuningError("result carries no optimizer for evaluation")
+        true_cost = self.optimizer.true_workload_cost(self.configuration)
+        if self.baseline_cost <= 0:
+            return 0.0
+        return (1.0 - true_cost / self.baseline_cost) * 100.0
+
+    def improvement_history(self) -> list[tuple[int, float]]:
+        """Ground-truth improvement at each recorded checkpoint."""
+        if self.optimizer is None:
+            raise TuningError("result carries no optimizer for evaluation")
+        points: list[tuple[int, float]] = []
+        for calls, configuration in self.history:
+            cost = self.optimizer.true_workload_cost(configuration)
+            points.append((calls, (1.0 - cost / self.baseline_cost) * 100.0))
+        return points
+
+
+class Tuner(abc.ABC):
+    """Base class for budget-aware configuration enumeration algorithms.
+
+    Subclasses implement :meth:`_enumerate`; the base class handles budget
+    plumbing, candidate generation and result assembly.
+    """
+
+    #: Human-readable algorithm name (appears in reports).
+    name: str = "tuner"
+
+    def tune(
+        self,
+        workload: Workload,
+        budget: int | None,
+        constraints: TuningConstraints | None = None,
+        candidates: list[Index] | None = None,
+    ) -> TuningResult:
+        """Run the tuner.
+
+        Args:
+            workload: Workload to tune.
+            budget: Budget ``B`` on counted what-if calls (``None`` =
+                unlimited; greedy variants then reduce to their classic
+                unbudgeted forms).
+            constraints: Outcome constraints ``Γ`` (default: ``K = 10``,
+                no storage constraint).
+            candidates: Candidate indexes ``I``; generated from the workload
+                when omitted.
+
+        Returns:
+            The tuning result, carrying the optimizer for evaluation.
+        """
+        if budget is not None and budget < 1:
+            raise TuningError(f"budget must be positive, got {budget}")
+        constraints = constraints or TuningConstraints()
+        if candidates is None:
+            candidates = CandidateGenerator(workload.schema).for_workload(workload)
+        if not candidates:
+            raise TuningError("no candidate indexes to enumerate")
+        for index in candidates:
+            if not workload.schema.has_table(index.table):
+                raise TuningError(
+                    f"candidate index {index.display()} references table "
+                    f"{index.table!r} missing from schema "
+                    f"{workload.schema.name!r}"
+                )
+        optimizer = WhatIfOptimizer(workload, budget=budget)
+        baseline = optimizer.empty_workload_cost()
+        configuration, history = self._enumerate(optimizer, candidates, constraints)
+        estimated = optimizer.derived_workload_cost(configuration)
+        if constraints.min_improvement_percent is not None and baseline > 0:
+            improvement = (1.0 - estimated / baseline) * 100.0
+            if improvement < constraints.min_improvement_percent:
+                # Constrained tuning: below the required improvement the
+                # tuner recommends nothing rather than marginal indexes.
+                configuration, estimated = frozenset(), baseline
+        return TuningResult(
+            tuner=self.name,
+            configuration=frozenset(configuration),
+            estimated_cost=estimated,
+            baseline_cost=baseline,
+            calls_used=optimizer.calls_used,
+            budget=budget,
+            history=history,
+            optimizer=optimizer,
+        )
+
+    @abc.abstractmethod
+    def _enumerate(
+        self,
+        optimizer: WhatIfOptimizer,
+        candidates: list[Index],
+        constraints: TuningConstraints,
+    ) -> tuple[frozenset[Index], list[tuple[int, frozenset[Index]]]]:
+        """Search for the best configuration.
+
+        Returns:
+            ``(configuration, history)`` where history is a list of
+            ``(calls_used, best_config_so_far)`` checkpoints.
+        """

@@ -1,0 +1,55 @@
+"""Random configuration search — a control baseline (not in the paper).
+
+Samples random configurations of admissible size, spends one counted
+what-if call per query per sample (FCFS), and keeps the best. Useful as the
+floor every principled algorithm must beat in tests and ablations.
+"""
+
+from __future__ import annotations
+
+from repro.catalog import Index
+from repro.config import TuningConstraints
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.rng import make_rng
+from repro.tuners.base import Tuner, evaluated_cost
+
+
+class RandomSearchTuner(Tuner):
+    """Uniform random sampling over admissible configurations."""
+
+    name = "random_search"
+
+    def __init__(self, seed: int | None = None):
+        self._seed = seed
+
+    def _enumerate(
+        self,
+        optimizer: WhatIfOptimizer,
+        candidates: list[Index],
+        constraints: TuningConstraints,
+    ) -> tuple[frozenset[Index], list[tuple[int, frozenset[Index]]]]:
+        rng = make_rng(self._seed)
+        workload = optimizer.workload
+        best: frozenset[Index] = frozenset()
+        best_cost = optimizer.empty_workload_cost()
+        history: list[tuple[int, frozenset[Index]]] = []
+        max_size = min(constraints.max_indexes, len(candidates))
+
+        # Bound the loop even when the budget is unlimited or no sample is
+        # ever admissible (tiny storage constraints).
+        budget = optimizer.meter.budget
+        max_samples = 10 * (budget if budget is not None else 100)
+        for _ in range(max_samples):
+            if optimizer.meter.exhausted:
+                break
+            size = rng.randint(1, max_size)
+            sample = frozenset(rng.sample(candidates, size))
+            if not constraints.admits(sample):
+                continue
+            cost = sum(
+                q.weight * evaluated_cost(optimizer, q, sample) for q in workload
+            )
+            if cost < best_cost:
+                best, best_cost = sample, cost
+                history.append((optimizer.calls_used, best))
+        return best, history

@@ -1,0 +1,55 @@
+"""Workload parsing and analysis — the left-hand boxes of the paper's Figure 1.
+
+This package turns SQL text into bound, analyzable query objects
+(:mod:`repro.workload.query`, :mod:`repro.workload.analysis`), generates
+candidate indexes per query and per workload (:mod:`repro.workload.candidates`,
+matching Section 2's candidate-generation stage), and synthesises seeded
+benchmark-like workloads over an arbitrary schema
+(:mod:`repro.workload.synthesis`).
+"""
+
+from repro.workload.query import Query, Workload
+from repro.workload.analysis import (
+    BoundJoin,
+    BoundPredicate,
+    BoundQuery,
+    PredicateKind,
+    TableAccess,
+    bind_query,
+)
+from repro.workload.candidates import (
+    CandidateGenerator,
+    IndexableColumns,
+    atomic_configurations,
+    candidate_indexes_for_query,
+    extract_indexable_columns,
+)
+from repro.workload.compression import (
+    QuerySignature,
+    WorkloadCompressor,
+    query_signature,
+    signature_distance,
+)
+from repro.workload.synthesis import SynthesisProfile, WorkloadSynthesizer
+
+__all__ = [
+    "BoundJoin",
+    "BoundPredicate",
+    "BoundQuery",
+    "CandidateGenerator",
+    "IndexableColumns",
+    "PredicateKind",
+    "Query",
+    "QuerySignature",
+    "SynthesisProfile",
+    "TableAccess",
+    "Workload",
+    "WorkloadCompressor",
+    "WorkloadSynthesizer",
+    "atomic_configurations",
+    "bind_query",
+    "candidate_indexes_for_query",
+    "extract_indexable_columns",
+    "query_signature",
+    "signature_distance",
+]

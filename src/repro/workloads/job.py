@@ -1,0 +1,192 @@
+"""The Join Order Benchmark (JOB) over the IMDB schema.
+
+The 21-table IMDB schema with the real cardinalities of the 9.2 GB dataset
+Leis et al. used. The 33 queries (one instance per template, the paper's
+protocol) are synthesized over the schema's join graph with a profile
+matching Table 1 (avg 7.9 joins, 2.5 filters, 8.9 scans).
+"""
+
+from __future__ import annotations
+
+from repro.catalog import ColumnType, Schema, SchemaBuilder
+from repro.workload.query import Workload
+from repro.workload.synthesis import SynthesisProfile, WorkloadSynthesizer
+
+_SYNTHESIS_SEED = 3307
+
+
+def job_schema() -> Schema:
+    """The IMDB schema (21 tables) with real dataset cardinalities."""
+    I, V = ColumnType.INTEGER, ColumnType.VARCHAR
+    b = SchemaBuilder("imdb")
+
+    b.table("title", rows=2_528_312)
+    b.column("t_id", I, distinct=2_528_312)
+    b.column("t_kind_id", I, distinct=7)
+    b.column("t_production_year", I, distinct=133, lo=1880, hi=2019)
+    b.column("t_title", V, distinct=2_300_000, width=50)
+    b.column("t_imdb_index", V, distinct=30, width=5)
+
+    b.table("kind_type", rows=7)
+    b.column("kt_id", I, distinct=7)
+    b.column("kt_kind", V, distinct=7, width=15)
+
+    b.table("name", rows=4_167_491)
+    b.column("n_id", I, distinct=4_167_491)
+    b.column("n_name", V, distinct=4_000_000, width=30)
+    b.column("n_gender", V, distinct=3, width=1)
+    b.column("n_name_pcode_cf", V, distinct=200_000, width=5)
+
+    b.table("char_name", rows=3_140_339)
+    b.column("chn_id", I, distinct=3_140_339)
+    b.column("chn_name", V, distinct=3_000_000, width=30)
+
+    b.table("role_type", rows=12)
+    b.column("rt_id", I, distinct=12)
+    b.column("rt_role", V, distinct=12, width=15)
+
+    b.table("cast_info", rows=36_244_344)
+    b.column("ci_id", I, distinct=36_244_344)
+    b.column("ci_movie_id", I, distinct=2_528_312)
+    b.column("ci_person_id", I, distinct=4_167_491)
+    b.column("ci_person_role_id", I, distinct=3_140_339, null_fraction=0.5)
+    b.column("ci_role_id", I, distinct=12)
+    b.column("ci_nr_order", I, distinct=1_000, lo=1, hi=1000, null_fraction=0.3)
+    b.column("ci_note", V, distinct=500_000, width=20, null_fraction=0.6)
+
+    b.table("company_name", rows=234_997)
+    b.column("cn_id", I, distinct=234_997)
+    b.column("cn_name", V, distinct=230_000, width=40)
+    b.column("cn_country_code", V, distinct=230, width=6)
+
+    b.table("company_type", rows=4)
+    b.column("ct_id", I, distinct=4)
+    b.column("ct_kind", V, distinct=4, width=25)
+
+    b.table("movie_companies", rows=2_609_129)
+    b.column("mc_id", I, distinct=2_609_129)
+    b.column("mc_movie_id", I, distinct=1_200_000)
+    b.column("mc_company_id", I, distinct=234_997)
+    b.column("mc_company_type_id", I, distinct=4)
+    b.column("mc_note", V, distinct=1_300_000, width=40, null_fraction=0.4)
+
+    b.table("info_type", rows=113)
+    b.column("it_id", I, distinct=113)
+    b.column("it_info", V, distinct=113, width=25)
+
+    b.table("movie_info", rows=14_835_720)
+    b.column("mi_id", I, distinct=14_835_720)
+    b.column("mi_movie_id", I, distinct=2_400_000)
+    b.column("mi_info_type_id", I, distinct=71)
+    b.column("mi_info", V, distinct=2_700_000, width=30)
+    b.column("mi_note", V, distinct=130_000, width=25, null_fraction=0.7)
+
+    b.table("movie_info_idx", rows=1_380_035)
+    b.column("mii_id", I, distinct=1_380_035)
+    b.column("mii_movie_id", I, distinct=500_000)
+    b.column("mii_info_type_id", I, distinct=5)
+    b.column("mii_info", V, distinct=130_000, width=10)
+
+    b.table("keyword", rows=134_170)
+    b.column("k_id", I, distinct=134_170)
+    b.column("k_keyword", V, distinct=134_170, width=20)
+
+    b.table("movie_keyword", rows=4_523_930)
+    b.column("mk_id", I, distinct=4_523_930)
+    b.column("mk_movie_id", I, distinct=470_000)
+    b.column("mk_keyword_id", I, distinct=134_170)
+
+    b.table("movie_link", rows=29_997)
+    b.column("ml_id", I, distinct=29_997)
+    b.column("ml_movie_id", I, distinct=20_000)
+    b.column("ml_linked_movie_id", I, distinct=20_000)
+    b.column("ml_link_type_id", I, distinct=18)
+
+    b.table("link_type", rows=18)
+    b.column("lt_id", I, distinct=18)
+    b.column("lt_link", V, distinct=18, width=20)
+
+    b.table("aka_name", rows=901_343)
+    b.column("an_id", I, distinct=901_343)
+    b.column("an_person_id", I, distinct=588_000)
+    b.column("an_name", V, distinct=890_000, width=30)
+
+    b.table("aka_title", rows=361_472)
+    b.column("at_id", I, distinct=361_472)
+    b.column("at_movie_id", I, distinct=200_000)
+    b.column("at_title", V, distinct=350_000, width=50)
+
+    b.table("person_info", rows=2_963_664)
+    b.column("pi_id", I, distinct=2_963_664)
+    b.column("pi_person_id", I, distinct=550_000)
+    b.column("pi_info_type_id", I, distinct=22)
+    b.column("pi_info", V, distinct=1_500_000, width=60)
+    b.column("pi_note", V, distinct=20_000, width=15, null_fraction=0.8)
+
+    b.table("complete_cast", rows=135_086)
+    b.column("cc_id", I, distinct=135_086)
+    b.column("cc_movie_id", I, distinct=94_000)
+    b.column("cc_subject_id", I, distinct=2)
+    b.column("cc_status_id", I, distinct=2)
+
+    b.table("comp_cast_type", rows=4)
+    b.column("cct_id", I, distinct=4)
+    b.column("cct_kind", V, distinct=4, width=30)
+
+    b.foreign_key("title", "t_kind_id", "kind_type", "kt_id")
+    b.foreign_key("cast_info", "ci_movie_id", "title", "t_id")
+    b.foreign_key("cast_info", "ci_person_id", "name", "n_id")
+    b.foreign_key("cast_info", "ci_person_role_id", "char_name", "chn_id")
+    b.foreign_key("cast_info", "ci_role_id", "role_type", "rt_id")
+    b.foreign_key("movie_companies", "mc_movie_id", "title", "t_id")
+    b.foreign_key("movie_companies", "mc_company_id", "company_name", "cn_id")
+    b.foreign_key("movie_companies", "mc_company_type_id", "company_type", "ct_id")
+    b.foreign_key("movie_info", "mi_movie_id", "title", "t_id")
+    b.foreign_key("movie_info", "mi_info_type_id", "info_type", "it_id")
+    b.foreign_key("movie_info_idx", "mii_movie_id", "title", "t_id")
+    b.foreign_key("movie_info_idx", "mii_info_type_id", "info_type", "it_id")
+    b.foreign_key("movie_keyword", "mk_movie_id", "title", "t_id")
+    b.foreign_key("movie_keyword", "mk_keyword_id", "keyword", "k_id")
+    b.foreign_key("movie_link", "ml_movie_id", "title", "t_id")
+    b.foreign_key("movie_link", "ml_linked_movie_id", "title", "t_id")
+    b.foreign_key("movie_link", "ml_link_type_id", "link_type", "lt_id")
+    b.foreign_key("aka_name", "an_person_id", "name", "n_id")
+    b.foreign_key("aka_title", "at_movie_id", "title", "t_id")
+    b.foreign_key("person_info", "pi_person_id", "name", "n_id")
+    b.foreign_key("person_info", "pi_info_type_id", "info_type", "it_id")
+    b.foreign_key("complete_cast", "cc_movie_id", "title", "t_id")
+    b.foreign_key("complete_cast", "cc_subject_id", "comp_cast_type", "cct_id")
+
+    return b.build()
+
+
+def job_workload(synthesized: bool = False) -> Workload:
+    """The Join Order Benchmark: 33 hand-adapted real templates (default).
+
+    Args:
+        synthesized: Use the seeded synthesizer instead of the hand-adapted
+            templates (kept for profile-calibration experiments).
+    """
+    schema = job_schema()
+    if not synthesized:
+        from repro.workload.query import Query
+        from repro.workloads.job_templates import JOB_TEMPLATE_SQL
+
+        queries = [
+            Query(qid=qid, sql=sql.strip())
+            for qid, sql in JOB_TEMPLATE_SQL.items()
+        ]
+        return Workload(name="job", schema=schema, queries=queries)
+    profile = SynthesisProfile(
+        num_queries=33,
+        min_joins=4,
+        max_joins=11,
+        filters_per_query=2.5,
+        equality_fraction=0.55,
+        projection_columns=3,
+        aggregate_probability=0.5,
+        group_by_probability=0.15,
+        order_by_probability=0.2,
+        start_table_bias="large",
+    )
+    return WorkloadSynthesizer(schema, profile, seed=_SYNTHESIS_SEED).generate("job")

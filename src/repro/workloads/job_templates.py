@@ -1,0 +1,688 @@
+"""The 33 Join Order Benchmark query templates, adapted to the SQL subset.
+
+One instance per template (1a..33a), following the paper's protocol. The
+adaptation rules, applied uniformly:
+
+* disjunctions (``OR``, multi-branch ``LIKE`` alternatives) are reduced to
+  their first branch — the index-relevant access pattern is unchanged;
+* ``MIN(x)`` result columns stay as ``MIN`` aggregates;
+* IMDB column names carry this schema's table prefixes (``t.title`` →
+  ``t.t_title`` etc.);
+* literal strings keep their original spelling where the subset allows
+  (their selectivity is estimated from NDV statistics, not values).
+
+Templates with repeated tables (8, 12-14, 18-33) use aliases, exercising
+the binder's self-join support exactly like the originals.
+"""
+
+from __future__ import annotations
+
+#: qid -> SQL, one per JOB template.
+JOB_TEMPLATE_SQL: dict[str, str] = {
+    # 1a: production companies with top-250-rank movies
+    "q1": """
+        SELECT MIN(mc.mc_note), MIN(t.t_title), MIN(t.t_production_year)
+        FROM company_type ct, info_type it, movie_companies mc,
+             movie_info_idx mi_idx, title t
+        WHERE ct.ct_kind = 'production companies'
+          AND it.it_info = 'top 250 rank'
+          AND mc.mc_note NOT LIKE '%(as Metro-Goldwyn-Mayer Pictures)%'
+          AND mc.mc_note LIKE '(co-production)%'
+          AND ct.ct_id = mc.mc_company_type_id
+          AND t.t_id = mc.mc_movie_id
+          AND t.t_id = mi_idx.mii_movie_id
+          AND mi_idx.mii_info_type_id = it.it_id
+    """,
+    # 2a: German companies' keyworded movies
+    "q2": """
+        SELECT MIN(t.t_title)
+        FROM company_name cn, keyword k, movie_companies mc, movie_keyword mk,
+             title t
+        WHERE cn.cn_country_code = '[de]'
+          AND k.k_keyword = 'character-name-in-title'
+          AND cn.cn_id = mc.mc_company_id
+          AND mc.mc_movie_id = t.t_id
+          AND t.t_id = mk.mk_movie_id
+          AND mk.mk_keyword_id = k.k_id
+    """,
+    # 3a: sequels by keyword and recent year
+    "q3": """
+        SELECT MIN(t.t_title)
+        FROM keyword k, movie_info mi, movie_keyword mk, title t
+        WHERE k.k_keyword LIKE 'sequel%'
+          AND mi.mi_info = 'Bulgaria'
+          AND t.t_production_year > 2005
+          AND t.t_id = mi.mi_movie_id
+          AND t.t_id = mk.mk_movie_id
+          AND mk.mk_keyword_id = k.k_id
+    """,
+    # 4a: rated sequels
+    "q4": """
+        SELECT MIN(mi_idx.mii_info), MIN(t.t_title)
+        FROM info_type it, keyword k, movie_info_idx mi_idx, movie_keyword mk,
+             title t
+        WHERE it.it_info = 'rating'
+          AND k.k_keyword LIKE 'sequel%'
+          AND mi_idx.mii_info > 5
+          AND t.t_production_year > 2005
+          AND t.t_id = mi_idx.mii_movie_id
+          AND t.t_id = mk.mk_movie_id
+          AND mk.mk_keyword_id = k.k_id
+          AND mi_idx.mii_info_type_id = it.it_id
+    """,
+    # 5a: European theatrical movies
+    "q5": """
+        SELECT MIN(t.t_title)
+        FROM company_type ct, info_type it, movie_companies mc, movie_info mi,
+             title t
+        WHERE ct.ct_kind = 'production companies'
+          AND mc.mc_note LIKE '(theatrical)%'
+          AND mi.mi_info = 'Sweden'
+          AND t.t_production_year > 2005
+          AND t.t_id = mi.mi_movie_id
+          AND t.t_id = mc.mc_movie_id
+          AND mc.mc_company_type_id = ct.ct_id
+          AND mi.mi_info_type_id = it.it_id
+    """,
+    # 6a: marvel movies with Downey
+    "q6": """
+        SELECT MIN(k.k_keyword), MIN(n.n_name), MIN(t.t_title)
+        FROM cast_info ci, keyword k, movie_keyword mk, name n, title t
+        WHERE k.k_keyword = 'marvel-cinematic-universe'
+          AND n.n_name LIKE 'Downey%'
+          AND t.t_production_year > 2010
+          AND k.k_id = mk.mk_keyword_id
+          AND t.t_id = mk.mk_movie_id
+          AND t.t_id = ci.ci_movie_id
+          AND ci.ci_person_id = n.n_id
+    """,
+    # 7a: biographies of people with features
+    "q7": """
+        SELECT MIN(n.n_name), MIN(t.t_title)
+        FROM aka_name an, cast_info ci, info_type it, link_type lt,
+             movie_link ml, name n, person_info pi, title t
+        WHERE an.an_name LIKE 'a%'
+          AND it.it_info = 'mini biography'
+          AND lt.lt_link = 'features'
+          AND n.n_name_pcode_cf LIKE 'D%'
+          AND n.n_gender = 'm'
+          AND pi.pi_note IS NULL
+          AND t.t_production_year BETWEEN 1980 AND 1995
+          AND n.n_id = an.an_person_id
+          AND n.n_id = pi.pi_person_id
+          AND ci.ci_person_id = n.n_id
+          AND t.t_id = ci.ci_movie_id
+          AND ml.ml_movie_id = t.t_id
+          AND ml.ml_link_type_id = lt.lt_id
+          AND it.it_id = pi.pi_info_type_id
+    """,
+    # 8a: costume designers in Japanese movies
+    "q8": """
+        SELECT MIN(an.an_name), MIN(t.t_title)
+        FROM aka_name an, cast_info ci, company_name cn, movie_companies mc,
+             name n, role_type rt, title t
+        WHERE ci.ci_note = '(voice: English version)'
+          AND cn.cn_country_code = '[jp]'
+          AND mc.mc_note LIKE '(Japan)%'
+          AND n.n_name LIKE 'Yo%'
+          AND rt.rt_role = 'actress'
+          AND an.an_person_id = n.n_id
+          AND n.n_id = ci.ci_person_id
+          AND ci.ci_movie_id = t.t_id
+          AND t.t_id = mc.mc_movie_id
+          AND mc.mc_company_id = cn.cn_id
+          AND ci.ci_role_id = rt.rt_id
+    """,
+    # 9a: voice actresses in US productions
+    "q9": """
+        SELECT MIN(an.an_name), MIN(chn.chn_name), MIN(t.t_title)
+        FROM aka_name an, char_name chn, cast_info ci, company_name cn,
+             movie_companies mc, name n, role_type rt, title t
+        WHERE ci.ci_note IN ('(voice)', '(voice: Japanese version)')
+          AND cn.cn_country_code = '[us]'
+          AND mc.mc_note LIKE '(USA)%'
+          AND n.n_gender = 'f'
+          AND n.n_name LIKE 'Ang%'
+          AND rt.rt_role = 'actress'
+          AND t.t_production_year BETWEEN 2005 AND 2015
+          AND ci.ci_movie_id = t.t_id
+          AND t.t_id = mc.mc_movie_id
+          AND ci.ci_person_id = n.n_id
+          AND chn.chn_id = ci.ci_person_role_id
+          AND an.an_person_id = n.n_id
+          AND ci.ci_role_id = rt.rt_id
+          AND mc.mc_company_id = cn.cn_id
+    """,
+    # 10a: uncredited voice actors in Russian movies
+    "q10": """
+        SELECT MIN(chn.chn_name), MIN(t.t_title)
+        FROM char_name chn, cast_info ci, company_name cn, company_type ct,
+             movie_companies mc, role_type rt, title t
+        WHERE ci.ci_note LIKE '(voice)%'
+          AND cn.cn_country_code = '[ru]'
+          AND rt.rt_role = 'actor'
+          AND t.t_production_year > 2005
+          AND t.t_id = mc.mc_movie_id
+          AND t.t_id = ci.ci_movie_id
+          AND chn.chn_id = ci.ci_person_role_id
+          AND rt.rt_id = ci.ci_role_id
+          AND cn.cn_id = mc.mc_company_id
+          AND ct.ct_id = mc.mc_company_type_id
+    """,
+    # 11a: follow-up movies of non-Polish companies
+    "q11": """
+        SELECT MIN(cn.cn_name), MIN(lt.lt_link), MIN(t.t_title)
+        FROM company_name cn, company_type ct, keyword k, link_type lt,
+             movie_companies mc, movie_keyword mk, movie_link ml, title t
+        WHERE cn.cn_country_code <> '[pl]'
+          AND cn.cn_name LIKE 'Film%'
+          AND ct.ct_kind = 'production companies'
+          AND k.k_keyword = 'sequel'
+          AND lt.lt_link LIKE 'follow%'
+          AND mc.mc_note IS NULL
+          AND t.t_production_year BETWEEN 1950 AND 2000
+          AND lt.lt_id = ml.ml_link_type_id
+          AND ml.ml_movie_id = t.t_id
+          AND t.t_id = mk.mk_movie_id
+          AND mk.mk_keyword_id = k.k_id
+          AND t.t_id = mc.mc_movie_id
+          AND mc.mc_company_type_id = ct.ct_id
+          AND mc.mc_company_id = cn.cn_id
+    """,
+    # 12a: well-rated dramas of US companies
+    "q12": """
+        SELECT MIN(cn.cn_name), MIN(mi_idx.mii_info), MIN(t.t_title)
+        FROM company_name cn, company_type ct, info_type it1, info_type it2,
+             movie_companies mc, movie_info mi, movie_info_idx mi_idx, title t
+        WHERE cn.cn_country_code = '[us]'
+          AND ct.ct_kind = 'production companies'
+          AND it1.it_info = 'genres'
+          AND it2.it_info = 'rating'
+          AND mi.mi_info = 'Drama'
+          AND mi_idx.mii_info > 8
+          AND t.t_production_year BETWEEN 2005 AND 2008
+          AND t.t_id = mi.mi_movie_id
+          AND t.t_id = mi_idx.mii_movie_id
+          AND mi.mi_info_type_id = it1.it_id
+          AND mi_idx.mii_info_type_id = it2.it_id
+          AND t.t_id = mc.mc_movie_id
+          AND ct.ct_id = mc.mc_company_type_id
+          AND cn.cn_id = mc.mc_company_id
+    """,
+    # 13a: German movie ratings
+    "q13": """
+        SELECT MIN(mi.mi_info), MIN(mi_idx.mii_info), MIN(t.t_title)
+        FROM company_name cn, company_type ct, info_type it1, info_type it2,
+             kind_type kt, movie_companies mc, movie_info mi,
+             movie_info_idx mi_idx, title t
+        WHERE cn.cn_country_code = '[de]'
+          AND ct.ct_kind = 'production companies'
+          AND it1.it_info = 'rating'
+          AND it2.it_info = 'release dates'
+          AND kt.kt_kind = 'movie'
+          AND mi.mi_movie_id = t.t_id
+          AND it2.it_id = mi.mi_info_type_id
+          AND kt.kt_id = t.t_kind_id
+          AND mc.mc_movie_id = t.t_id
+          AND cn.cn_id = mc.mc_company_id
+          AND ct.ct_id = mc.mc_company_type_id
+          AND mi_idx.mii_movie_id = t.t_id
+          AND it1.it_id = mi_idx.mii_info_type_id
+    """,
+    # 14a: violent horror ratings
+    "q14": """
+        SELECT MIN(mi_idx.mii_info), MIN(t.t_title)
+        FROM info_type it1, info_type it2, keyword k, kind_type kt,
+             movie_info mi, movie_info_idx mi_idx, movie_keyword mk, title t
+        WHERE it1.it_info = 'countries'
+          AND it2.it_info = 'rating'
+          AND k.k_keyword = 'murder'
+          AND kt.kt_kind = 'movie'
+          AND mi.mi_info = 'Germany'
+          AND mi_idx.mii_info < 8.5
+          AND t.t_production_year > 2010
+          AND kt.kt_id = t.t_kind_id
+          AND t.t_id = mi.mi_movie_id
+          AND t.t_id = mk.mk_movie_id
+          AND t.t_id = mi_idx.mii_movie_id
+          AND mk.mk_keyword_id = k.k_id
+          AND it1.it_id = mi.mi_info_type_id
+          AND it2.it_id = mi_idx.mii_info_type_id
+    """,
+    # 15a: US release dates of internet movies
+    "q15": """
+        SELECT MIN(mi.mi_info), MIN(t.t_title)
+        FROM aka_title at, company_name cn, company_type ct, info_type it1,
+             keyword k, movie_companies mc, movie_info mi, movie_keyword mk,
+             title t
+        WHERE cn.cn_country_code = '[us]'
+          AND it1.it_info = 'release dates'
+          AND mc.mc_note LIKE '(200%'
+          AND mi.mi_note LIKE 'internet%'
+          AND t.t_production_year > 2000
+          AND t.t_id = at.at_movie_id
+          AND t.t_id = mi.mi_movie_id
+          AND t.t_id = mk.mk_movie_id
+          AND t.t_id = mc.mc_movie_id
+          AND mk.mk_keyword_id = k.k_id
+          AND it1.it_id = mi.mi_info_type_id
+          AND cn.cn_id = mc.mc_company_id
+          AND ct.ct_id = mc.mc_company_type_id
+    """,
+    # 16a: character-name movies of US companies
+    "q16": """
+        SELECT MIN(an.an_name), MIN(t.t_title)
+        FROM aka_name an, cast_info ci, company_name cn, keyword k,
+             movie_companies mc, movie_keyword mk, name n, title t
+        WHERE cn.cn_country_code = '[us]'
+          AND k.k_keyword = 'character-name-in-title'
+          AND t.t_production_year BETWEEN 2005 AND 2015
+          AND an.an_person_id = n.n_id
+          AND n.n_id = ci.ci_person_id
+          AND ci.ci_movie_id = t.t_id
+          AND t.t_id = mk.mk_movie_id
+          AND mk.mk_keyword_id = k.k_id
+          AND t.t_id = mc.mc_movie_id
+          AND mc.mc_company_id = cn.cn_id
+    """,
+    # 17a: people named B in US character-name movies
+    "q17": """
+        SELECT MIN(n.n_name)
+        FROM cast_info ci, company_name cn, keyword k, movie_companies mc,
+             movie_keyword mk, name n, title t
+        WHERE cn.cn_country_code = '[us]'
+          AND k.k_keyword = 'character-name-in-title'
+          AND n.n_name LIKE 'B%'
+          AND n.n_id = ci.ci_person_id
+          AND ci.ci_movie_id = t.t_id
+          AND t.t_id = mk.mk_movie_id
+          AND mk.mk_keyword_id = k.k_id
+          AND t.t_id = mc.mc_movie_id
+          AND mc.mc_company_id = cn.cn_id
+    """,
+    # 18a: budgets of male producers' movies
+    "q18": """
+        SELECT MIN(mi.mi_info), MIN(mi_idx.mii_info), MIN(t.t_title)
+        FROM cast_info ci, info_type it1, info_type it2, movie_info mi,
+             movie_info_idx mi_idx, name n, title t
+        WHERE ci.ci_note IN ('(producer)', '(executive producer)')
+          AND it1.it_info = 'budget'
+          AND it2.it_info = 'votes'
+          AND n.n_gender = 'm'
+          AND n.n_name LIKE 'Tim%'
+          AND t.t_id = mi.mi_movie_id
+          AND t.t_id = mi_idx.mii_movie_id
+          AND t.t_id = ci.ci_movie_id
+          AND ci.ci_person_id = n.n_id
+          AND it1.it_id = mi.mi_info_type_id
+          AND it2.it_id = mi_idx.mii_info_type_id
+    """,
+    # 19a: voice actresses in US movies with release dates
+    "q19": """
+        SELECT MIN(n.n_name), MIN(t.t_title)
+        FROM aka_name an, char_name chn, cast_info ci, company_name cn,
+             info_type it, movie_companies mc, movie_info mi, name n,
+             role_type rt, title t
+        WHERE ci.ci_note = '(voice)'
+          AND cn.cn_country_code = '[us]'
+          AND it.it_info = 'release dates'
+          AND mc.mc_note LIKE '(USA)%'
+          AND mi.mi_info LIKE 'Japan: 200%'
+          AND n.n_gender = 'f'
+          AND n.n_name LIKE 'An%'
+          AND rt.rt_role = 'actress'
+          AND t.t_production_year BETWEEN 2000 AND 2010
+          AND t.t_id = mi.mi_movie_id
+          AND t.t_id = mc.mc_movie_id
+          AND t.t_id = ci.ci_movie_id
+          AND mc.mc_company_id = cn.cn_id
+          AND it.it_id = mi.mi_info_type_id
+          AND n.n_id = ci.ci_person_id
+          AND rt.rt_id = ci.ci_role_id
+          AND n.n_id = an.an_person_id
+          AND chn.chn_id = ci.ci_person_role_id
+    """,
+    # 20a: complete superhero movies
+    "q20": """
+        SELECT MIN(t.t_title)
+        FROM comp_cast_type cct1, complete_cast cc, char_name chn,
+             cast_info ci, keyword k, kind_type kt, movie_keyword mk,
+             name n, title t
+        WHERE cct1.cct_kind = 'cast'
+          AND chn.chn_name NOT LIKE '%Sherlock%'
+          AND k.k_keyword = 'superhero'
+          AND kt.kt_kind = 'movie'
+          AND t.t_production_year > 1950
+          AND kt.kt_id = t.t_kind_id
+          AND t.t_id = mk.mk_movie_id
+          AND t.t_id = ci.ci_movie_id
+          AND t.t_id = cc.cc_movie_id
+          AND mk.mk_keyword_id = k.k_id
+          AND ci.ci_person_role_id = chn.chn_id
+          AND n.n_id = ci.ci_person_id
+          AND cc.cc_subject_id = cct1.cct_id
+    """,
+    # 21a: western-European sequel companies
+    "q21": """
+        SELECT MIN(cn.cn_name), MIN(lt.lt_link), MIN(t.t_title)
+        FROM company_name cn, company_type ct, keyword k, link_type lt,
+             movie_companies mc, movie_info mi, movie_keyword mk,
+             movie_link ml, title t
+        WHERE cn.cn_country_code <> '[pl]'
+          AND cn.cn_name LIKE 'Film%'
+          AND ct.ct_kind = 'production companies'
+          AND k.k_keyword = 'sequel'
+          AND lt.lt_link LIKE 'follow%'
+          AND mc.mc_note IS NULL
+          AND mi.mi_info = 'Sweden'
+          AND t.t_production_year BETWEEN 1950 AND 2000
+          AND lt.lt_id = ml.ml_link_type_id
+          AND ml.ml_movie_id = t.t_id
+          AND t.t_id = mk.mk_movie_id
+          AND mk.mk_keyword_id = k.k_id
+          AND t.t_id = mc.mc_movie_id
+          AND mc.mc_company_type_id = ct.ct_id
+          AND mc.mc_company_id = cn.cn_id
+          AND t.t_id = mi.mi_movie_id
+    """,
+    # 22a: western-violent movie ratings by non-US companies
+    "q22": """
+        SELECT MIN(cn.cn_name), MIN(mi_idx.mii_info), MIN(t.t_title)
+        FROM company_name cn, company_type ct, info_type it1, info_type it2,
+             keyword k, kind_type kt, movie_companies mc, movie_info mi,
+             movie_info_idx mi_idx, movie_keyword mk, title t
+        WHERE cn.cn_country_code <> '[us]'
+          AND it1.it_info = 'countries'
+          AND it2.it_info = 'rating'
+          AND k.k_keyword LIKE 'murder%'
+          AND kt.kt_kind IN ('movie', 'episode')
+          AND mc.mc_note NOT LIKE '%(USA)%'
+          AND mi.mi_info = 'Germany'
+          AND mi_idx.mii_info < 7
+          AND t.t_production_year > 2008
+          AND kt.kt_id = t.t_kind_id
+          AND t.t_id = mi.mi_movie_id
+          AND t.t_id = mk.mk_movie_id
+          AND t.t_id = mi_idx.mii_movie_id
+          AND t.t_id = mc.mc_movie_id
+          AND mk.mk_keyword_id = k.k_id
+          AND it1.it_id = mi.mi_info_type_id
+          AND it2.it_id = mi_idx.mii_info_type_id
+          AND ct.ct_id = mc.mc_company_type_id
+          AND cn.cn_id = mc.mc_company_id
+    """,
+    # 23a: complete US internet movies
+    "q23": """
+        SELECT MIN(kt.kt_kind), MIN(t.t_title)
+        FROM comp_cast_type cct1, complete_cast cc, company_name cn,
+             company_type ct, info_type it1, kind_type kt,
+             movie_companies mc, movie_info mi, movie_keyword mk, title t
+        WHERE cct1.cct_kind = 'complete+verified'
+          AND cn.cn_country_code = '[us]'
+          AND it1.it_info = 'release dates'
+          AND kt.kt_kind = 'movie'
+          AND mi.mi_note LIKE 'internet%'
+          AND t.t_production_year > 2000
+          AND kt.kt_id = t.t_kind_id
+          AND t.t_id = mi.mi_movie_id
+          AND t.t_id = mk.mk_movie_id
+          AND t.t_id = mc.mc_movie_id
+          AND t.t_id = cc.cc_movie_id
+          AND it1.it_id = mi.mi_info_type_id
+          AND cn.cn_id = mc.mc_company_id
+          AND ct.ct_id = mc.mc_company_type_id
+          AND cc.cc_status_id = cct1.cct_id
+    """,
+    # 24a: voice actresses in dangerous US movies
+    "q24": """
+        SELECT MIN(chn.chn_name), MIN(n.n_name), MIN(t.t_title)
+        FROM aka_name an, char_name chn, cast_info ci, company_name cn,
+             info_type it, keyword k, movie_companies mc, movie_info mi,
+             movie_keyword mk, name n, role_type rt, title t
+        WHERE ci.ci_note IN ('(voice)', '(voice: Japanese version)')
+          AND cn.cn_country_code = '[us]'
+          AND it.it_info = 'release dates'
+          AND k.k_keyword IN ('hero', 'martial-arts', 'hand-to-hand-combat')
+          AND n.n_gender = 'f'
+          AND rt.rt_role = 'actress'
+          AND t.t_production_year > 2010
+          AND t.t_id = mi.mi_movie_id
+          AND t.t_id = mc.mc_movie_id
+          AND t.t_id = ci.ci_movie_id
+          AND t.t_id = mk.mk_movie_id
+          AND mc.mc_company_id = cn.cn_id
+          AND it.it_id = mi.mi_info_type_id
+          AND n.n_id = ci.ci_person_id
+          AND rt.rt_id = ci.ci_role_id
+          AND n.n_id = an.an_person_id
+          AND chn.chn_id = ci.ci_person_role_id
+          AND mk.mk_keyword_id = k.k_id
+    """,
+    # 25a: male writers of violent movies
+    "q25": """
+        SELECT MIN(mi.mi_info), MIN(mi_idx.mii_info), MIN(n.n_name), MIN(t.t_title)
+        FROM cast_info ci, info_type it1, info_type it2, keyword k,
+             movie_info mi, movie_info_idx mi_idx, movie_keyword mk,
+             name n, title t
+        WHERE ci.ci_note = '(writer)'
+          AND it1.it_info = 'genres'
+          AND it2.it_info = 'votes'
+          AND k.k_keyword IN ('murder', 'blood', 'gore', 'death')
+          AND mi.mi_info = 'Horror'
+          AND n.n_gender = 'm'
+          AND t.t_id = mi.mi_movie_id
+          AND t.t_id = mi_idx.mii_movie_id
+          AND t.t_id = ci.ci_movie_id
+          AND t.t_id = mk.mk_movie_id
+          AND ci.ci_person_id = n.n_id
+          AND it1.it_id = mi.mi_info_type_id
+          AND it2.it_id = mi_idx.mii_info_type_id
+          AND mk.mk_keyword_id = k.k_id
+    """,
+    # 26a: complete fantasy character ratings
+    "q26": """
+        SELECT MIN(chn.chn_name), MIN(mi_idx.mii_info), MIN(n.n_name),
+               MIN(t.t_title)
+        FROM comp_cast_type cct1, complete_cast cc, char_name chn,
+             cast_info ci, info_type it2, keyword k, kind_type kt,
+             movie_info_idx mi_idx, movie_keyword mk, name n, title t
+        WHERE cct1.cct_kind = 'cast'
+          AND chn.chn_name LIKE 'man%'
+          AND it2.it_info = 'rating'
+          AND k.k_keyword IN ('superhero', 'marvel-comics', 'fight')
+          AND kt.kt_kind = 'movie'
+          AND mi_idx.mii_info > 7
+          AND t.t_production_year > 2000
+          AND kt.kt_id = t.t_kind_id
+          AND t.t_id = mk.mk_movie_id
+          AND t.t_id = ci.ci_movie_id
+          AND t.t_id = cc.cc_movie_id
+          AND t.t_id = mi_idx.mii_movie_id
+          AND mk.mk_keyword_id = k.k_id
+          AND ci.ci_person_role_id = chn.chn_id
+          AND n.n_id = ci.ci_person_id
+          AND it2.it_id = mi_idx.mii_info_type_id
+          AND cc.cc_subject_id = cct1.cct_id
+    """,
+    # 27a: complete sequels of European companies
+    "q27": """
+        SELECT MIN(cn.cn_name), MIN(lt.lt_link), MIN(t.t_title)
+        FROM comp_cast_type cct1, complete_cast cc, company_name cn,
+             company_type ct, keyword k, link_type lt, movie_companies mc,
+             movie_keyword mk, movie_link ml, title t
+        WHERE cct1.cct_kind = 'cast'
+          AND cn.cn_country_code <> '[pl]'
+          AND cn.cn_name LIKE 'Film%'
+          AND ct.ct_kind = 'production companies'
+          AND k.k_keyword = 'sequel'
+          AND lt.lt_link LIKE 'follow%'
+          AND mc.mc_note IS NULL
+          AND t.t_production_year BETWEEN 1950 AND 2000
+          AND lt.lt_id = ml.ml_link_type_id
+          AND ml.ml_movie_id = t.t_id
+          AND t.t_id = mk.mk_movie_id
+          AND mk.mk_keyword_id = k.k_id
+          AND t.t_id = mc.mc_movie_id
+          AND mc.mc_company_type_id = ct.ct_id
+          AND mc.mc_company_id = cn.cn_id
+          AND t.t_id = cc.cc_movie_id
+          AND cct1.cct_id = cc.cc_subject_id
+    """,
+    # 28a: complete violent episode ratings abroad
+    "q28": """
+        SELECT MIN(cn.cn_name), MIN(mi_idx.mii_info), MIN(t.t_title)
+        FROM comp_cast_type cct1, complete_cast cc, company_name cn,
+             company_type ct, info_type it1, info_type it2, keyword k,
+             kind_type kt, movie_companies mc, movie_info mi,
+             movie_info_idx mi_idx, movie_keyword mk, title t
+        WHERE cct1.cct_kind = 'crew'
+          AND cn.cn_country_code <> '[us]'
+          AND it1.it_info = 'countries'
+          AND it2.it_info = 'rating'
+          AND k.k_keyword IN ('murder', 'murder-in-title', 'blood')
+          AND kt.kt_kind IN ('movie', 'episode')
+          AND mc.mc_note NOT LIKE '%(USA)%'
+          AND mi.mi_info IN ('Sweden', 'Germany', 'Denmark')
+          AND mi_idx.mii_info < 8.5
+          AND t.t_production_year > 2000
+          AND kt.kt_id = t.t_kind_id
+          AND t.t_id = mi.mi_movie_id
+          AND t.t_id = mk.mk_movie_id
+          AND t.t_id = mi_idx.mii_movie_id
+          AND t.t_id = mc.mc_movie_id
+          AND t.t_id = cc.cc_movie_id
+          AND mk.mk_keyword_id = k.k_id
+          AND it1.it_id = mi.mi_info_type_id
+          AND it2.it_id = mi_idx.mii_info_type_id
+          AND ct.ct_id = mc.mc_company_type_id
+          AND cn.cn_id = mc.mc_company_id
+          AND cct1.cct_id = cc.cc_subject_id
+    """,
+    # 29a: wizard-of-oz style voice roles
+    "q29": """
+        SELECT MIN(chn.chn_name), MIN(n.n_name), MIN(t.t_title)
+        FROM aka_name an, comp_cast_type cct1, complete_cast cc,
+             char_name chn, cast_info ci, company_name cn, info_type it,
+             keyword k, movie_companies mc, movie_info mi, movie_keyword mk,
+             name n, person_info pi, role_type rt, title t
+        WHERE cct1.cct_kind = 'cast'
+          AND chn.chn_name = 'Queen'
+          AND ci.ci_note IN ('(voice)', '(voice) (uncredited)')
+          AND cn.cn_country_code = '[us]'
+          AND it.it_info = 'release dates'
+          AND k.k_keyword = 'computer-animation'
+          AND mi.mi_info LIKE 'USA: 19%'
+          AND n.n_gender = 'f'
+          AND n.n_name LIKE 'An%'
+          AND rt.rt_role = 'actress'
+          AND t.t_title = 'Shrek 2'
+          AND t.t_production_year BETWEEN 2000 AND 2010
+          AND t.t_id = mi.mi_movie_id
+          AND t.t_id = mc.mc_movie_id
+          AND t.t_id = ci.ci_movie_id
+          AND t.t_id = mk.mk_movie_id
+          AND t.t_id = cc.cc_movie_id
+          AND mc.mc_company_id = cn.cn_id
+          AND it.it_id = mi.mi_info_type_id
+          AND n.n_id = ci.ci_person_id
+          AND rt.rt_id = ci.ci_role_id
+          AND n.n_id = an.an_person_id
+          AND chn.chn_id = ci.ci_person_role_id
+          AND n.n_id = pi.pi_person_id
+          AND mk.mk_keyword_id = k.k_id
+          AND cc.cc_subject_id = cct1.cct_id
+    """,
+    # 30a: complete gore writers
+    "q30": """
+        SELECT MIN(mi.mi_info), MIN(mi_idx.mii_info), MIN(n.n_name),
+               MIN(t.t_title)
+        FROM comp_cast_type cct1, complete_cast cc, cast_info ci,
+             info_type it1, info_type it2, keyword k, movie_info mi,
+             movie_info_idx mi_idx, movie_keyword mk, name n, title t
+        WHERE cct1.cct_kind = 'cast'
+          AND ci.ci_note = '(writer)'
+          AND it1.it_info = 'genres'
+          AND it2.it_info = 'votes'
+          AND k.k_keyword IN ('murder', 'violence', 'blood', 'gore')
+          AND mi.mi_info = 'Horror'
+          AND n.n_gender = 'm'
+          AND t.t_production_year > 2000
+          AND t.t_id = mi.mi_movie_id
+          AND t.t_id = mi_idx.mii_movie_id
+          AND t.t_id = ci.ci_movie_id
+          AND t.t_id = mk.mk_movie_id
+          AND t.t_id = cc.cc_movie_id
+          AND ci.ci_person_id = n.n_id
+          AND it1.it_id = mi.mi_info_type_id
+          AND it2.it_id = mi_idx.mii_info_type_id
+          AND mk.mk_keyword_id = k.k_id
+          AND cct1.cct_id = cc.cc_subject_id
+    """,
+    # 31a: violent series by Lionsgate
+    "q31": """
+        SELECT MIN(mi.mi_info), MIN(mi_idx.mii_info), MIN(n.n_name),
+               MIN(t.t_title)
+        FROM cast_info ci, company_name cn, info_type it1, info_type it2,
+             keyword k, movie_companies mc, movie_info mi,
+             movie_info_idx mi_idx, movie_keyword mk, name n, title t
+        WHERE ci.ci_note = '(writer)'
+          AND cn.cn_name LIKE 'Lionsgate%'
+          AND it1.it_info = 'genres'
+          AND it2.it_info = 'votes'
+          AND k.k_keyword IN ('murder', 'violence', 'blood')
+          AND mi.mi_info = 'Horror'
+          AND n.n_gender = 'm'
+          AND t.t_id = mi.mi_movie_id
+          AND t.t_id = mi_idx.mii_movie_id
+          AND t.t_id = ci.ci_movie_id
+          AND t.t_id = mk.mk_movie_id
+          AND t.t_id = mc.mc_movie_id
+          AND ci.ci_person_id = n.n_id
+          AND it1.it_id = mi.mi_info_type_id
+          AND it2.it_id = mi_idx.mii_info_type_id
+          AND mk.mk_keyword_id = k.k_id
+          AND mc.mc_company_id = cn.cn_id
+    """,
+    # 32a: linked movies sharing a keyword (self-join on title)
+    "q32": """
+        SELECT MIN(lt.lt_link), MIN(t1.t_title), MIN(t2.t_title)
+        FROM keyword k, link_type lt, movie_keyword mk, movie_link ml,
+             title t1, title t2
+        WHERE k.k_keyword = '10,000-mile-club'
+          AND mk.mk_keyword_id = k.k_id
+          AND t1.t_id = mk.mk_movie_id
+          AND ml.ml_movie_id = t1.t_id
+          AND ml.ml_linked_movie_id = t2.t_id
+          AND lt.lt_id = ml.ml_link_type_id
+    """,
+    # 33a: linked TV series ratings (double self-join)
+    "q33": """
+        SELECT MIN(cn1.cn_name), MIN(mi_idx1.mii_info), MIN(t1.t_title)
+        FROM company_name cn1, company_name cn2, info_type it1, info_type it2,
+             kind_type kt1, kind_type kt2, link_type lt,
+             movie_companies mc1, movie_companies mc2,
+             movie_info_idx mi_idx1, movie_info_idx mi_idx2, movie_link ml,
+             title t1, title t2
+        WHERE cn1.cn_country_code = '[us]'
+          AND it1.it_info = 'rating'
+          AND it2.it_info = 'rating'
+          AND kt1.kt_kind = 'tv series'
+          AND kt2.kt_kind = 'tv series'
+          AND lt.lt_link IN ('sequel', 'follows', 'followed by')
+          AND mi_idx2.mii_info < 3
+          AND t2.t_production_year BETWEEN 2005 AND 2008
+          AND lt.lt_id = ml.ml_link_type_id
+          AND t1.t_id = ml.ml_movie_id
+          AND t2.t_id = ml.ml_linked_movie_id
+          AND it1.it_id = mi_idx1.mii_info_type_id
+          AND t1.t_id = mi_idx1.mii_movie_id
+          AND kt1.kt_id = t1.t_kind_id
+          AND cn1.cn_id = mc1.mc_company_id
+          AND t1.t_id = mc1.mc_movie_id
+          AND it2.it_id = mi_idx2.mii_info_type_id
+          AND t2.t_id = mi_idx2.mii_movie_id
+          AND kt2.kt_id = t2.t_kind_id
+          AND cn2.cn_id = mc2.mc_company_id
+          AND t2.t_id = mc2.mc_movie_id
+    """,
+}

@@ -1,0 +1,65 @@
+"""Workload registry: lazy, cached construction of the five workloads.
+
+Benchmarks resolve workloads through :func:`get_workload` so repeated bench
+targets share the (potentially expensive) schema/workload construction.
+The ``scale`` argument shrinks the big workloads proportionally for quick
+runs on small machines; ``scale=1.0`` is the paper's full size.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import TuningError
+from repro.workload.query import Workload
+from repro.workloads.job import job_workload
+from repro.workloads.real import real_d_workload, real_m_workload
+from repro.workloads.tpcds import tpcds_workload
+from repro.workloads.tpch import tpch_workload
+
+_BUILDERS: dict[str, Callable[[float], Workload]] = {}
+_CACHE: dict[tuple[str, float], Workload] = {}
+
+
+def _register(name: str, builder: Callable[[float], Workload]) -> None:
+    _BUILDERS[name] = builder
+
+
+_register("tpch", lambda scale: tpch_workload())
+_register("tpcds", lambda scale: tpcds_workload())
+_register("job", lambda scale: job_workload())
+_register(
+    "real_d",
+    lambda scale: real_d_workload(num_tables=max(64, int(7_912 * min(1.0, scale)))),
+)
+_register(
+    "real_m",
+    lambda scale: real_m_workload(num_tables=max(48, int(474 * min(1.0, scale)))),
+)
+
+
+def available_workloads() -> list[str]:
+    """Names accepted by :func:`get_workload`."""
+    return sorted(_BUILDERS)
+
+
+def get_workload(name: str, scale: float = 1.0) -> Workload:
+    """Build (or fetch from cache) the named workload.
+
+    Args:
+        name: One of :func:`available_workloads`.
+        scale: Structural scale for the procedurally-generated workloads
+            (affects Real-D/Real-M table counts; the benchmark schemas are
+            fixed). ``1.0`` matches the paper.
+
+    Raises:
+        TuningError: For unknown workload names.
+    """
+    if name not in _BUILDERS:
+        raise TuningError(
+            f"unknown workload {name!r}; available: {available_workloads()}"
+        )
+    key = (name, scale)
+    if key not in _CACHE:
+        _CACHE[key] = _BUILDERS[name](scale)
+    return _CACHE[key]

@@ -1,0 +1,280 @@
+"""TPC-H at scale factor 10: the real schema plus all 22 query templates.
+
+The schema matches the TPC-H specification (8 tables, standard columns and
+sf-scaled cardinalities). Queries are the 22 templates adapted to the
+library's SELECT subset: correlated subqueries, OR-predicates and outer
+joins are rewritten to the conjunctive star-join core that drives their
+index-access behaviour — the part an index tuner actually sees.
+"""
+
+from __future__ import annotations
+
+from repro.catalog import ColumnType, Schema, SchemaBuilder
+from repro.workload.query import Query, Workload
+
+#: TPC-H scale factor used throughout the paper's experiments.
+SCALE_FACTOR = 10
+
+
+def tpch_schema(scale_factor: float = SCALE_FACTOR) -> Schema:
+    """The TPC-H schema with sf-scaled row counts and column statistics."""
+    sf = scale_factor
+    V, C, D = ColumnType.VARCHAR, ColumnType.CHAR, ColumnType.DECIMAL
+    I, DT = ColumnType.INTEGER, ColumnType.DATE
+    builder = (
+        SchemaBuilder(f"tpch_sf{scale_factor:g}")
+        .table("region", rows=5)
+        .column("r_regionkey", I, distinct=5)
+        .column("r_name", C, distinct=5)
+        .column("r_comment", V, distinct=5, width=80)
+        .table("nation", rows=25)
+        .column("n_nationkey", I, distinct=25)
+        .column("n_name", C, distinct=25)
+        .column("n_regionkey", I, distinct=5)
+        .column("n_comment", V, distinct=25, width=80)
+        .table("supplier", rows=int(10_000 * sf))
+        .column("s_suppkey", I, distinct=int(10_000 * sf))
+        .column("s_name", C, distinct=int(10_000 * sf))
+        .column("s_address", V, distinct=int(10_000 * sf), width=30)
+        .column("s_nationkey", I, distinct=25)
+        .column("s_phone", C, distinct=int(10_000 * sf), width=15)
+        .column("s_acctbal", D, distinct=int(9_000 * sf), lo=-999, hi=9999)
+        .column("s_comment", V, distinct=int(10_000 * sf), width=70)
+        .table("part", rows=int(200_000 * sf))
+        .column("p_partkey", I, distinct=int(200_000 * sf))
+        .column("p_name", V, distinct=int(200_000 * sf), width=40)
+        .column("p_mfgr", C, distinct=5, width=25)
+        .column("p_brand", C, distinct=25, width=10)
+        .column("p_type", V, distinct=150, width=25)
+        .column("p_size", I, distinct=50, lo=1, hi=50)
+        .column("p_container", C, distinct=40, width=10)
+        .column("p_retailprice", D, distinct=int(20_000 * sf), lo=900, hi=2100)
+        .column("p_comment", V, distinct=int(100_000 * sf), width=20)
+        .table("partsupp", rows=int(800_000 * sf))
+        .column("ps_partkey", I, distinct=int(200_000 * sf))
+        .column("ps_suppkey", I, distinct=int(10_000 * sf))
+        .column("ps_availqty", I, distinct=9_999, lo=1, hi=9999)
+        .column("ps_supplycost", D, distinct=int(100_000 * sf), lo=1, hi=1000)
+        .column("ps_comment", V, distinct=int(700_000 * sf), width=130)
+        .table("customer", rows=int(150_000 * sf))
+        .column("c_custkey", I, distinct=int(150_000 * sf))
+        .column("c_name", V, distinct=int(150_000 * sf), width=22)
+        .column("c_address", V, distinct=int(150_000 * sf), width=30)
+        .column("c_nationkey", I, distinct=25)
+        .column("c_phone", C, distinct=int(150_000 * sf), width=15)
+        .column("c_acctbal", D, distinct=int(140_000 * sf), lo=-999, hi=9999)
+        .column("c_mktsegment", C, distinct=5, width=10)
+        .column("c_comment", V, distinct=int(150_000 * sf), width=75)
+        .table("orders", rows=int(1_500_000 * sf))
+        .column("o_orderkey", I, distinct=int(1_500_000 * sf))
+        .column("o_custkey", I, distinct=int(100_000 * sf))
+        .column("o_orderstatus", C, distinct=3, width=1)
+        .column("o_totalprice", D, distinct=int(1_400_000 * sf), lo=850, hi=560000)
+        .column("o_orderdate", DT, distinct=2_406, lo=0, hi=2405)
+        .column("o_orderpriority", C, distinct=5, width=15)
+        .column("o_clerk", C, distinct=int(10_000 * sf), width=15)
+        .column("o_shippriority", I, distinct=1, lo=0, hi=1)
+        .column("o_comment", V, distinct=int(1_400_000 * sf), width=49)
+        .table("lineitem", rows=int(6_000_000 * sf))
+        .column("l_orderkey", I, distinct=int(1_500_000 * sf))
+        .column("l_partkey", I, distinct=int(200_000 * sf))
+        .column("l_suppkey", I, distinct=int(10_000 * sf))
+        .column("l_linenumber", I, distinct=7, lo=1, hi=7)
+        .column("l_quantity", D, distinct=50, lo=1, hi=50)
+        .column("l_extendedprice", D, distinct=int(900_000 * sf), lo=900, hi=105000)
+        .column("l_discount", D, distinct=11, lo=0, hi=0.1)
+        .column("l_tax", D, distinct=9, lo=0, hi=0.08)
+        .column("l_returnflag", C, distinct=3, width=1)
+        .column("l_linestatus", C, distinct=2, width=1)
+        .column("l_shipdate", DT, distinct=2_526, lo=0, hi=2525)
+        .column("l_commitdate", DT, distinct=2_466, lo=0, hi=2465)
+        .column("l_receiptdate", DT, distinct=2_555, lo=0, hi=2554)
+        .column("l_shipinstruct", C, distinct=4, width=25)
+        .column("l_shipmode", C, distinct=7, width=10)
+        .column("l_comment", V, distinct=int(4_500_000 * sf), width=27)
+        .foreign_key("nation", "n_regionkey", "region", "r_regionkey")
+        .foreign_key("supplier", "s_nationkey", "nation", "n_nationkey")
+        .foreign_key("customer", "c_nationkey", "nation", "n_nationkey")
+        .foreign_key("partsupp", "ps_partkey", "part", "p_partkey")
+        .foreign_key("partsupp", "ps_suppkey", "supplier", "s_suppkey")
+        .foreign_key("orders", "o_custkey", "customer", "c_custkey")
+        .foreign_key("lineitem", "l_orderkey", "orders", "o_orderkey")
+        .foreign_key("lineitem", "l_partkey", "part", "p_partkey")
+        .foreign_key("lineitem", "l_suppkey", "supplier", "s_suppkey")
+    )
+    return builder.build()
+
+
+#: The 22 TPC-H templates, adapted to the supported SELECT subset. Dates are
+#: encoded as day offsets from 1992-01-01 (the domain used in the schema).
+_QUERIES: list[tuple[str, str]] = [
+    ("q1", """
+        SELECT l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice),
+               AVG(l_discount), COUNT(*)
+        FROM lineitem
+        WHERE l_shipdate <= 2455
+        GROUP BY l_returnflag, l_linestatus
+    """),
+    ("q2", """
+        SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone
+        FROM part, supplier, partsupp, nation, region
+        WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey
+          AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+          AND p_size = 15 AND p_type LIKE 'BRASS%' AND r_name = 'EUROPE'
+        ORDER BY s_acctbal DESC
+    """),
+    ("q3", """
+        SELECT l_orderkey, SUM(l_extendedprice), o_orderdate, o_shippriority
+        FROM customer, orders, lineitem
+        WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey
+          AND l_orderkey = o_orderkey AND o_orderdate < 1168 AND l_shipdate > 1168
+        GROUP BY l_orderkey, o_orderdate, o_shippriority
+    """),
+    ("q4", """
+        SELECT o_orderpriority, COUNT(*)
+        FROM orders, lineitem
+        WHERE l_orderkey = o_orderkey AND o_orderdate >= 1278 AND o_orderdate < 1368
+          AND l_commitdate < 1400 AND l_receiptdate > 1400
+        GROUP BY o_orderpriority
+    """),
+    ("q5", """
+        SELECT n_name, SUM(l_extendedprice)
+        FROM customer, orders, lineitem, supplier, nation, region
+        WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+          AND l_suppkey = s_suppkey AND s_nationkey = n_nationkey
+          AND n_regionkey = r_regionkey AND r_name = 'ASIA'
+          AND o_orderdate >= 730 AND o_orderdate < 1095
+        GROUP BY n_name
+    """),
+    ("q6", """
+        SELECT SUM(l_extendedprice)
+        FROM lineitem
+        WHERE l_shipdate >= 730 AND l_shipdate < 1095
+          AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24
+    """),
+    ("q7", """
+        SELECT n_name, SUM(l_extendedprice)
+        FROM supplier, lineitem, orders, customer, nation
+        WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey
+          AND c_custkey = o_custkey AND s_nationkey = n_nationkey
+          AND n_name = 'FRANCE' AND l_shipdate BETWEEN 1095 AND 1825
+        GROUP BY n_name
+    """),
+    ("q8", """
+        SELECT o_orderdate, SUM(l_extendedprice)
+        FROM part, supplier, lineitem, orders, customer, nation, region
+        WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey
+          AND l_orderkey = o_orderkey AND o_custkey = c_custkey
+          AND c_nationkey = n_nationkey AND n_regionkey = r_regionkey
+          AND r_name = 'AMERICA' AND o_orderdate BETWEEN 1095 AND 1825
+          AND p_type = 'ECONOMY ANODIZED STEEL'
+        GROUP BY o_orderdate
+    """),
+    ("q9", """
+        SELECT n_name, o_orderdate, SUM(l_extendedprice)
+        FROM part, supplier, lineitem, partsupp, orders, nation
+        WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey
+          AND ps_partkey = l_partkey AND p_partkey = l_partkey
+          AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey
+          AND p_name LIKE 'green%'
+        GROUP BY n_name, o_orderdate
+    """),
+    ("q10", """
+        SELECT c_custkey, c_name, SUM(l_extendedprice), c_acctbal, n_name
+        FROM customer, orders, lineitem, nation
+        WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+          AND o_orderdate >= 820 AND o_orderdate < 910
+          AND l_returnflag = 'R' AND c_nationkey = n_nationkey
+        GROUP BY c_custkey, c_name, c_acctbal, n_name
+    """),
+    ("q11", """
+        SELECT ps_partkey, SUM(ps_supplycost)
+        FROM partsupp, supplier, nation
+        WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey
+          AND n_name = 'GERMANY'
+        GROUP BY ps_partkey
+    """),
+    ("q12", """
+        SELECT l_shipmode, COUNT(*)
+        FROM orders, lineitem
+        WHERE o_orderkey = l_orderkey AND l_shipmode IN ('MAIL', 'SHIP')
+          AND l_commitdate < 1500 AND l_receiptdate >= 1460 AND l_receiptdate < 1825
+        GROUP BY l_shipmode
+    """),
+    ("q13", """
+        SELECT c_custkey, COUNT(*)
+        FROM customer, orders
+        WHERE c_custkey = o_custkey AND o_comment NOT LIKE '%special%requests%'
+        GROUP BY c_custkey
+    """),
+    ("q14", """
+        SELECT SUM(l_extendedprice), COUNT(*)
+        FROM lineitem, part
+        WHERE l_partkey = p_partkey AND l_shipdate >= 1340 AND l_shipdate < 1370
+          AND p_type LIKE 'PROMO%'
+    """),
+    ("q15", """
+        SELECT l_suppkey, SUM(l_extendedprice)
+        FROM lineitem, supplier
+        WHERE l_suppkey = s_suppkey AND l_shipdate >= 1460 AND l_shipdate < 1550
+        GROUP BY l_suppkey
+    """),
+    ("q16", """
+        SELECT p_brand, p_type, p_size, COUNT(DISTINCT ps_suppkey)
+        FROM partsupp, part
+        WHERE p_partkey = ps_partkey AND p_brand <> 'Brand#45'
+          AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9)
+        GROUP BY p_brand, p_type, p_size
+    """),
+    ("q17", """
+        SELECT SUM(l_extendedprice), AVG(l_quantity)
+        FROM lineitem, part
+        WHERE p_partkey = l_partkey AND p_brand = 'Brand#23'
+          AND p_container = 'MED BOX' AND l_quantity < 5
+    """),
+    ("q18", """
+        SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+               SUM(l_quantity)
+        FROM customer, orders, lineitem
+        WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey
+          AND o_totalprice > 450000
+        GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+    """),
+    ("q19", """
+        SELECT SUM(l_extendedprice)
+        FROM lineitem, part
+        WHERE p_partkey = l_partkey AND p_brand = 'Brand#12'
+          AND l_quantity BETWEEN 1 AND 11 AND p_size BETWEEN 1 AND 5
+          AND l_shipmode IN ('AIR', 'REG AIR')
+          AND l_shipinstruct = 'DELIVER IN PERSON'
+    """),
+    ("q20", """
+        SELECT s_name, s_address
+        FROM supplier, nation, partsupp, part
+        WHERE s_suppkey = ps_suppkey AND ps_partkey = p_partkey
+          AND s_nationkey = n_nationkey AND n_name = 'CANADA'
+          AND p_name LIKE 'forest%' AND ps_availqty > 5000
+        ORDER BY s_name
+    """),
+    ("q21", """
+        SELECT s_name, COUNT(*)
+        FROM supplier, lineitem, orders, nation
+        WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey
+          AND o_orderstatus = 'F' AND l_receiptdate > 1900
+          AND s_nationkey = n_nationkey AND n_name = 'SAUDI ARABIA'
+        GROUP BY s_name
+    """),
+    ("q22", """
+        SELECT c_phone, COUNT(*), SUM(c_acctbal)
+        FROM customer
+        WHERE c_acctbal > 0 AND c_phone LIKE '13%'
+        GROUP BY c_phone
+    """),
+]
+
+
+def tpch_workload(scale_factor: float = SCALE_FACTOR) -> Workload:
+    """The 22-query TPC-H workload over the sf-scaled schema."""
+    schema = tpch_schema(scale_factor)
+    queries = [Query(qid=qid, sql=sql.strip()) for qid, sql in _QUERIES]
+    return Workload(name="tpch", schema=schema, queries=queries)

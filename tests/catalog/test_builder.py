@@ -1,0 +1,75 @@
+"""SchemaBuilder tests."""
+
+import pytest
+
+from repro.catalog import ColumnType, SchemaBuilder
+from repro.exceptions import CatalogError
+
+
+class TestBuilder:
+    def test_fluent_build(self):
+        schema = (
+            SchemaBuilder("x")
+            .table("t", rows=100)
+            .column("a")
+            .column("b", ColumnType.VARCHAR, distinct=5)
+            .build()
+        )
+        assert schema.table("t").row_count == 100
+        assert schema.column("t", "b").stats.distinct_count == 5
+
+    def test_column_before_table_rejected(self):
+        with pytest.raises(CatalogError):
+            SchemaBuilder("x").column("a")
+
+    def test_distinct_defaults_to_row_count(self):
+        schema = SchemaBuilder("x").table("t", rows=77).column("id").build()
+        assert schema.column("t", "id").stats.distinct_count == 77
+
+    def test_domain_defaults(self):
+        schema = (
+            SchemaBuilder("x").table("t", rows=10).column("a", distinct=50).build()
+        )
+        stats = schema.column("t", "a").stats
+        assert stats.min_value == 0
+        assert stats.max_value == 50
+
+    def test_explicit_domain(self):
+        schema = (
+            SchemaBuilder("x")
+            .table("t", rows=10)
+            .column("a", distinct=5, lo=-10, hi=10)
+            .build()
+        )
+        stats = schema.column("t", "a").stats
+        assert (stats.min_value, stats.max_value) == (-10, 10)
+
+    def test_width_override(self):
+        schema = (
+            SchemaBuilder("x")
+            .table("t", rows=10)
+            .column("a", ColumnType.VARCHAR, width=99)
+            .build()
+        )
+        assert schema.column("t", "a").width == 99
+
+    def test_foreign_keys_registered(self):
+        schema = (
+            SchemaBuilder("x")
+            .table("p", rows=10)
+            .column("id")
+            .table("c", rows=100)
+            .column("pid")
+            .foreign_key("c", "pid", "p", "id")
+            .build()
+        )
+        assert len(schema.foreign_keys_of("c")) == 1
+
+    def test_null_fraction(self):
+        schema = (
+            SchemaBuilder("x")
+            .table("t", rows=10)
+            .column("a", null_fraction=0.25)
+            .build()
+        )
+        assert schema.column("t", "a").stats.null_fraction == 0.25

@@ -1,0 +1,85 @@
+"""Column and statistics tests."""
+
+import pytest
+
+from repro.catalog import Column, ColumnStats, ColumnType
+from repro.exceptions import CatalogError
+
+
+class TestColumnType:
+    @pytest.mark.parametrize(
+        "ctype",
+        [
+            ColumnType.INTEGER,
+            ColumnType.BIGINT,
+            ColumnType.DECIMAL,
+            ColumnType.FLOAT,
+            ColumnType.DATE,
+        ],
+    )
+    def test_numeric_types(self, ctype):
+        assert ctype.is_numeric
+
+    @pytest.mark.parametrize(
+        "ctype", [ColumnType.VARCHAR, ColumnType.CHAR, ColumnType.BOOLEAN]
+    )
+    def test_non_numeric_types(self, ctype):
+        assert not ctype.is_numeric
+
+    def test_default_widths_positive(self):
+        for ctype in ColumnType:
+            assert ctype.default_width >= 1
+
+
+class TestColumnStats:
+    def test_valid_stats(self):
+        stats = ColumnStats(distinct_count=10, min_value=0, max_value=100)
+        assert stats.domain_span == 100
+
+    def test_rejects_zero_distinct(self):
+        with pytest.raises(CatalogError):
+            ColumnStats(distinct_count=0)
+
+    def test_rejects_inverted_domain(self):
+        with pytest.raises(CatalogError):
+            ColumnStats(distinct_count=5, min_value=10, max_value=1)
+
+    def test_rejects_null_fraction_of_one(self):
+        with pytest.raises(CatalogError):
+            ColumnStats(distinct_count=5, null_fraction=1.0)
+
+    def test_rejects_negative_null_fraction(self):
+        with pytest.raises(CatalogError):
+            ColumnStats(distinct_count=5, null_fraction=-0.1)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(CatalogError):
+            ColumnStats(distinct_count=5, avg_width=0)
+
+    def test_constant_column_has_zero_span(self):
+        stats = ColumnStats(distinct_count=1, min_value=5, max_value=5)
+        assert stats.domain_span == 0
+
+
+class TestColumn:
+    def test_width_from_stats(self):
+        column = Column(
+            name="c",
+            ctype=ColumnType.VARCHAR,
+            stats=ColumnStats(distinct_count=10, avg_width=33),
+        )
+        assert column.width == 33
+
+    def test_with_stats_returns_new_column(self):
+        original = Column(name="c")
+        replaced = original.with_stats(ColumnStats(distinct_count=7))
+        assert replaced.stats.distinct_count == 7
+        assert original.stats.distinct_count != 7 or original is not replaced
+
+    def test_rejects_invalid_name(self):
+        with pytest.raises(CatalogError):
+            Column(name="bad name!")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(CatalogError):
+            Column(name="")

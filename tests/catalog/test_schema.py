@@ -1,0 +1,100 @@
+"""Schema and foreign-key graph tests."""
+
+import pytest
+
+from repro.catalog import Column, ColumnStats, ForeignKey, Schema, Table
+from repro.exceptions import CatalogError, UnknownColumnError, UnknownTableError
+
+
+def column(name):
+    return Column(name=name, stats=ColumnStats(distinct_count=10))
+
+
+@pytest.fixture
+def schema():
+    r = Table(name="r", columns=[column("a"), column("b")], row_count=100)
+    s = Table(name="s", columns=[column("c"), column("d")], row_count=200)
+    fk = ForeignKey(child_table="r", child_column="b", parent_table="s", parent_column="c")
+    return Schema(name="test", tables=[r, s], foreign_keys=[fk])
+
+
+class TestConstruction:
+    def test_duplicate_table_rejected(self):
+        t = Table(name="t", columns=[column("a")], row_count=1)
+        with pytest.raises(CatalogError, match="duplicate"):
+            Schema(name="x", tables=[t, t])
+
+    def test_fk_unknown_table_rejected(self):
+        t = Table(name="t", columns=[column("a")], row_count=1)
+        fk = ForeignKey(child_table="t", child_column="a", parent_table="zz", parent_column="a")
+        with pytest.raises(UnknownTableError):
+            Schema(name="x", tables=[t], foreign_keys=[fk])
+
+    def test_fk_unknown_column_rejected(self):
+        t = Table(name="t", columns=[column("a")], row_count=1)
+        u = Table(name="u", columns=[column("b")], row_count=1)
+        fk = ForeignKey(child_table="t", child_column="zz", parent_table="u", parent_column="b")
+        with pytest.raises(UnknownColumnError):
+            Schema(name="x", tables=[t, u], foreign_keys=[fk])
+
+    def test_self_referencing_fk_rejected(self):
+        with pytest.raises(CatalogError):
+            ForeignKey(child_table="t", child_column="a", parent_table="t", parent_column="b")
+
+
+class TestLookup:
+    def test_table_lookup(self, schema):
+        assert schema.table("r").name == "r"
+
+    def test_unknown_table_raises(self, schema):
+        with pytest.raises(UnknownTableError):
+            schema.table("zz")
+
+    def test_has_table(self, schema):
+        assert schema.has_table("s")
+        assert not schema.has_table("zz")
+
+    def test_column_lookup(self, schema):
+        assert schema.column("r", "a").name == "a"
+
+    def test_table_names(self, schema):
+        assert schema.table_names == ["r", "s"]
+
+    def test_total_size(self, schema):
+        assert schema.total_size_bytes == sum(t.size_bytes for t in schema.tables)
+
+
+class TestJoinGraph:
+    def test_foreign_keys_of(self, schema):
+        assert len(schema.foreign_keys_of("r")) == 1
+        assert len(schema.foreign_keys_of("s")) == 1
+
+    def test_joinable_neighbors(self, schema):
+        neighbors = schema.joinable_neighbors("r")
+        assert neighbors[0][0] == "s"
+
+    def test_fk_endpoint(self, schema):
+        fk = schema.foreign_keys_of("r")[0]
+        assert fk.endpoint("r") == ("r", "b")
+        assert fk.other("r") == ("s", "c")
+
+    def test_fk_endpoint_wrong_table_raises(self, schema):
+        fk = schema.foreign_keys_of("r")[0]
+        with pytest.raises(CatalogError):
+            fk.endpoint("zz")
+
+
+class TestNameResolution:
+    def test_resolve_unique(self, schema):
+        assert schema.resolve_column("a", ["r", "s"]) == "r"
+
+    def test_resolve_missing_raises(self, schema):
+        with pytest.raises(UnknownColumnError, match="not found"):
+            schema.resolve_column("zz", ["r", "s"])
+
+    def test_resolve_ambiguous_raises(self):
+        t1 = Table(name="t1", columns=[column("x")], row_count=1)
+        t2 = Table(name="t2", columns=[column("x")], row_count=1)
+        schema = Schema(name="amb", tables=[t1, t2])
+        with pytest.raises(UnknownColumnError, match="ambiguous"):
+            schema.resolve_column("x", ["t1", "t2"])

@@ -1,0 +1,83 @@
+"""Table metadata tests."""
+
+import pytest
+
+from repro.catalog import Column, ColumnStats, Table
+from repro.catalog.table import PAGE_BYTES, ROW_OVERHEAD_BYTES
+from repro.exceptions import CatalogError, UnknownColumnError
+
+
+def make_table(rows=1000, ncols=3):
+    columns = [
+        Column(name=f"c{i}", stats=ColumnStats(distinct_count=10, avg_width=4))
+        for i in range(ncols)
+    ]
+    return Table(name="t", columns=columns, row_count=rows)
+
+
+class TestConstruction:
+    def test_basic(self):
+        table = make_table()
+        assert table.name == "t"
+        assert table.row_count == 1000
+
+    def test_rejects_duplicate_columns(self):
+        c = Column(name="dup")
+        with pytest.raises(CatalogError, match="duplicate"):
+            Table(name="t", columns=[c, c], row_count=10)
+
+    def test_rejects_no_columns(self):
+        with pytest.raises(CatalogError):
+            Table(name="t", columns=[], row_count=10)
+
+    def test_rejects_negative_rows(self):
+        with pytest.raises(CatalogError):
+            make_table(rows=-1)
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(CatalogError):
+            Table(name="bad name", columns=[Column(name="c")], row_count=1)
+
+
+class TestLookup:
+    def test_column_lookup(self):
+        table = make_table()
+        assert table.column("c1").name == "c1"
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(UnknownColumnError):
+            make_table().column("nope")
+
+    def test_has_column(self):
+        table = make_table()
+        assert table.has_column("c0")
+        assert not table.has_column("zz")
+
+    def test_column_names_ordered(self):
+        assert make_table(ncols=3).column_names == ["c0", "c1", "c2"]
+
+
+class TestSizeModel:
+    def test_row_bytes_includes_overhead(self):
+        table = make_table(ncols=2)
+        assert table.row_bytes == ROW_OVERHEAD_BYTES + 8
+
+    def test_pages_at_least_one(self):
+        assert make_table(rows=0).pages == 1
+
+    def test_pages_scale_with_rows(self):
+        small = make_table(rows=1_000)
+        large = make_table(rows=1_000_000)
+        assert large.pages > small.pages * 100
+
+    def test_size_bytes_is_pages_times_page_size(self):
+        table = make_table()
+        assert table.size_bytes == table.pages * PAGE_BYTES
+
+
+class TestIdentity:
+    def test_equality_by_name(self):
+        assert make_table() == make_table(rows=5)
+
+    def test_hashable(self):
+        assert len({make_table(), make_table(rows=5)}) == 1

@@ -1,0 +1,85 @@
+"""Shared fixtures: a small star schema, a deterministic toy workload, and
+session-cached benchmark workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import ColumnType, SchemaBuilder
+from repro.config import TuningConstraints
+from repro.workload import CandidateGenerator, SynthesisProfile, WorkloadSynthesizer
+from repro.workload.query import Query, Workload
+
+
+@pytest.fixture(scope="session")
+def star_schema():
+    """A 1M-row fact table with two dimensions — the standard test schema."""
+    return (
+        SchemaBuilder("star")
+        .table("fact", rows=1_000_000)
+        .column("fk1", distinct=1_000)
+        .column("fk2", distinct=500)
+        .column("val", ColumnType.DECIMAL, distinct=10_000, lo=0, hi=10_000)
+        .column("cat", ColumnType.VARCHAR, distinct=50)
+        .column("flag", ColumnType.CHAR, distinct=3)
+        .table("dim1", rows=1_000)
+        .column("id", distinct=1_000)
+        .column("attr", distinct=20)
+        .table("dim2", rows=500)
+        .column("id", distinct=500)
+        .column("name", ColumnType.VARCHAR, distinct=500)
+        .foreign_key("fact", "fk1", "dim1", "id")
+        .foreign_key("fact", "fk2", "dim2", "id")
+        .build()
+    )
+
+
+@pytest.fixture(scope="session")
+def toy_workload(star_schema):
+    """A deterministic 12-query synthesized workload over the star schema."""
+    profile = SynthesisProfile(num_queries=12, max_joins=2, filters_per_query=1.5)
+    return WorkloadSynthesizer(star_schema, profile, seed=3).generate("toy")
+
+
+@pytest.fixture(scope="session")
+def toy_candidates(star_schema, toy_workload):
+    return CandidateGenerator(star_schema).for_workload(toy_workload)
+
+
+@pytest.fixture(scope="session")
+def figure3_schema():
+    """The R(a, b) / S(c, d) schema of the paper's Figure 3 example."""
+    return (
+        SchemaBuilder("figure3")
+        .table("R", rows=100_000)
+        .column("a", distinct=1_000, lo=0, hi=1_000)
+        .column("b", distinct=5_000)
+        .table("S", rows=200_000)
+        .column("c", distinct=5_000)
+        .column("d", distinct=2_000, lo=0, hi=2_000)
+        .foreign_key("R", "b", "S", "c")
+        .build()
+    )
+
+
+@pytest.fixture(scope="session")
+def figure3_workload(figure3_schema):
+    """The two-query workload of Figure 3."""
+    q1 = Query(
+        qid="Q1",
+        sql="SELECT a, d FROM R, S WHERE R.b = S.c AND R.a = 5 AND S.d > 200",
+    )
+    q2 = Query(qid="Q2", sql="SELECT a FROM R, S WHERE R.b = S.c AND R.a = 40")
+    return Workload(name="figure3", schema=figure3_schema, queries=[q1, q2])
+
+
+@pytest.fixture
+def small_constraints():
+    return TuningConstraints(max_indexes=5)
+
+
+@pytest.fixture(scope="session")
+def tpch():
+    from repro.workloads.tpch import tpch_workload
+
+    return tpch_workload()

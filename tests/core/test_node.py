@@ -1,0 +1,67 @@
+"""Search-tree node bookkeeping tests."""
+
+import pytest
+
+from repro.catalog import Index
+from repro.core.node import ActionStats, TreeNode
+
+
+@pytest.fixture
+def actions(star_schema):
+    fact = star_schema.table("fact")
+    return [Index.build(fact, [c]) for c in ("fk1", "fk2", "cat")]
+
+
+class TestActionStats:
+    def test_prior_before_visits(self):
+        stats = ActionStats(prior=0.4)
+        assert stats.q_value == 0.4
+
+    def test_mean_after_visits(self):
+        stats = ActionStats(prior=0.4)
+        stats.update(0.2)
+        stats.update(0.6)
+        assert stats.q_value == pytest.approx(0.4)
+        assert stats.visits == 2
+
+
+class TestTreeNode:
+    def test_create_seeds_priors(self, actions):
+        node = TreeNode.create(frozenset(), actions, {actions[0]: 0.7})
+        assert node.q_value(actions[0]) == 0.7
+        assert node.q_value(actions[1]) == 0.0
+
+    def test_negative_prior_clamped(self, actions):
+        node = TreeNode.create(frozenset(), actions, {actions[0]: -0.5})
+        assert node.q_value(actions[0]) == 0.0
+
+    def test_update_counts_visits(self, actions):
+        node = TreeNode.create(frozenset(), actions)
+        node.update(actions[0], 0.5)
+        node.update(actions[1], 0.1)
+        assert node.visits == 2
+        assert node.action_visits(actions[0]) == 1
+
+    def test_leaf_and_terminal(self, actions):
+        node = TreeNode.create(frozenset(), actions)
+        assert node.is_leaf
+        assert not node.is_terminal
+        terminal = TreeNode.create(frozenset(actions), [])
+        assert terminal.is_terminal
+
+    def test_best_action_by_q(self, actions):
+        node = TreeNode.create(frozenset(), actions)
+        node.update(actions[1], 0.9)
+        node.update(actions[0], 0.2)
+        assert node.best_action_by_q() == actions[1]
+
+    def test_best_action_none_when_terminal(self, actions):
+        assert TreeNode.create(frozenset(actions), []).best_action_by_q() is None
+
+    def test_subtree_size(self, actions):
+        root = TreeNode.create(frozenset(), actions)
+        child = TreeNode.create(frozenset({actions[0]}), actions[1:])
+        root.children[actions[0]] = child
+        grandchild = TreeNode.create(frozenset(actions[:2]), actions[2:])
+        child.children[actions[1]] = grandchild
+        assert root.subtree_size() == 3

@@ -1,0 +1,203 @@
+"""Algorithm 3 (MCTS search) tests."""
+
+import pytest
+
+from repro.config import MCTSConfig, TuningConstraints
+from repro.core.search import MCTSSearch
+from repro.optimizer.whatif import WhatIfOptimizer
+
+
+def make_search(workload, candidates, budget=60, k=5, config=None, seed=0):
+    optimizer = WhatIfOptimizer(workload, budget=budget)
+    search = MCTSSearch(
+        optimizer=optimizer,
+        candidates=candidates,
+        constraints=TuningConstraints(max_indexes=k),
+        config=config or MCTSConfig(),
+        seed=seed,
+    )
+    return optimizer, search
+
+
+class TestBudgetDiscipline:
+    def test_never_exceeds_budget(self, toy_workload, toy_candidates):
+        optimizer, search = make_search(toy_workload, toy_candidates, budget=40)
+        search.run()
+        assert optimizer.calls_used <= 40
+
+    def test_spends_meaningful_budget(self, toy_workload, toy_candidates):
+        optimizer, search = make_search(toy_workload, toy_candidates, budget=40)
+        search.run()
+        assert optimizer.calls_used >= 30
+
+    def test_prior_subbudget_is_half(self, toy_workload, toy_candidates):
+        optimizer, search = make_search(toy_workload, toy_candidates, budget=40)
+        search.run()
+        # Priors use at most B' = min(B/2, P) = 20 counted calls: all
+        # singleton evaluations in the log beyond 20 come from episodes.
+        prior_calls = sum(
+            1
+            for entry in optimizer.call_log[:20]
+            if len(entry.configuration) == 1
+        )
+        assert prior_calls <= 20
+
+
+class TestSearchTree:
+    def test_root_exists_after_run(self, toy_workload, toy_candidates):
+        _, search = make_search(toy_workload, toy_candidates)
+        search.run()
+        assert search.root is not None
+        assert search.root.state == frozenset()
+
+    def test_tree_grows(self, toy_workload, toy_candidates):
+        _, search = make_search(toy_workload, toy_candidates, budget=80)
+        search.run()
+        assert search.root.subtree_size() > 1
+
+    def test_episodes_counted(self, toy_workload, toy_candidates):
+        _, search = make_search(toy_workload, toy_candidates)
+        search.run()
+        assert search.episodes > 0
+
+    def test_tree_respects_cardinality(self, toy_workload, toy_candidates):
+        _, search = make_search(toy_workload, toy_candidates, k=2, budget=80)
+        search.run()
+
+        def max_depth(node):
+            if not node.children:
+                return len(node.state)
+            return max(max_depth(child) for child in node.children.values())
+
+        assert max_depth(search.root) <= 2
+
+
+class TestResultQuality:
+    def test_configuration_admissible(self, toy_workload, toy_candidates):
+        _, search = make_search(toy_workload, toy_candidates, k=3)
+        config, _ = search.run()
+        assert len(config) <= 3
+
+    def test_finds_improvement(self, toy_workload, toy_candidates):
+        optimizer, search = make_search(toy_workload, toy_candidates, budget=100)
+        config, _ = search.run()
+        improvement = 1 - optimizer.true_workload_cost(config) / optimizer.empty_workload_cost()
+        assert improvement > 0.15
+
+    def test_reproducible_for_seed(self, toy_workload, toy_candidates):
+        _, first = make_search(toy_workload, toy_candidates, seed=42)
+        _, second = make_search(toy_workload, toy_candidates, seed=42)
+        assert first.run()[0] == second.run()[0]
+
+    def test_history_monotone_in_calls(self, toy_workload, toy_candidates):
+        _, search = make_search(toy_workload, toy_candidates, budget=100)
+        _, history = search.run()
+        calls = [c for c, _ in history]
+        assert calls == sorted(calls)
+
+    def test_history_final_entry_is_result(self, toy_workload, toy_candidates):
+        _, search = make_search(toy_workload, toy_candidates)
+        config, history = search.run()
+        assert history[-1][1] == config
+
+
+class TestPolicyVariants:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            MCTSConfig(selection_policy="uct", use_priors=False, extraction="bce"),
+            MCTSConfig(selection_policy="uct", use_priors=False, extraction="bg"),
+            MCTSConfig(selection_policy="epsilon_greedy", extraction="bce"),
+            MCTSConfig(selection_policy="epsilon_greedy", extraction="bg"),
+            MCTSConfig(rollout_policy="random"),
+            MCTSConfig(rollout_policy="myopic", myopic_step=1),
+            MCTSConfig(hybrid_extraction=True),
+        ],
+        ids=[
+            "uct_bce",
+            "uct_bg",
+            "prior_bce",
+            "prior_bg",
+            "random_rollout",
+            "myopic_step1",
+            "hybrid",
+        ],
+    )
+    def test_all_variants_run_within_budget(self, toy_workload, toy_candidates, config):
+        optimizer, search = make_search(
+            toy_workload, toy_candidates, budget=50, config=config
+        )
+        configuration, _ = search.run()
+        assert optimizer.calls_used <= 50
+        assert len(configuration) <= 5
+
+    def test_priors_disabled_leaves_empty_priors(self, toy_workload, toy_candidates):
+        config = MCTSConfig(selection_policy="uct", use_priors=False)
+        _, search = make_search(toy_workload, toy_candidates, config=config)
+        search.run()
+        assert search.priors == {}
+
+    def test_priors_enabled_populates(self, toy_workload, toy_candidates):
+        _, search = make_search(toy_workload, toy_candidates)
+        search.run()
+        assert len(search.priors) == len(toy_candidates)
+
+
+class TestStorageConstraint:
+    def test_storage_respected(self, toy_workload, toy_candidates):
+        cap = 3 * min(ix.estimated_size_bytes for ix in toy_candidates)
+        optimizer = WhatIfOptimizer(toy_workload, budget=50)
+        search = MCTSSearch(
+            optimizer=optimizer,
+            candidates=toy_candidates,
+            constraints=TuningConstraints(max_indexes=5, max_storage_bytes=cap),
+            seed=0,
+        )
+        config, _ = search.run()
+        assert sum(ix.estimated_size_bytes for ix in config) <= cap
+
+
+class TestUCTSlowProgress:
+    """Section 6.1.1's observation: under UCB1 every child of an expanded
+    node must be visited once before any is revisited, so small budgets only
+    expand the first tree levels."""
+
+    def test_root_children_visited_before_revisits(self, toy_workload, toy_candidates):
+        config = MCTSConfig(selection_policy="uct", use_priors=False)
+        optimizer = WhatIfOptimizer(toy_workload, budget=len(toy_candidates) // 2)
+        search = MCTSSearch(
+            optimizer=optimizer,
+            candidates=toy_candidates,
+            constraints=TuningConstraints(max_indexes=5),
+            config=config,
+            seed=0,
+        )
+        search.run()
+        root = search.root
+        visit_counts = [root.stats[a].visits for a in root.actions]
+        # No action is visited twice while siblings remain unvisited.
+        if 0 in visit_counts:
+            assert max(visit_counts) <= 1
+
+    def test_uct_tree_shallower_than_prior_tree(self, toy_workload, toy_candidates):
+        def depth_of(config):
+            optimizer = WhatIfOptimizer(toy_workload, budget=60)
+            search = MCTSSearch(
+                optimizer=optimizer,
+                candidates=toy_candidates,
+                constraints=TuningConstraints(max_indexes=5),
+                config=config,
+                seed=0,
+            )
+            search.run()
+
+            def max_depth(node):
+                if not node.children:
+                    return len(node.state)
+                return max(max_depth(child) for child in node.children.values())
+
+            return max_depth(search.root)
+
+        uct_depth = depth_of(MCTSConfig(selection_policy="uct", use_priors=False))
+        prior_depth = depth_of(MCTSConfig())
+        assert uct_depth <= prior_depth + 1

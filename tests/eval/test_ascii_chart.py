@@ -1,0 +1,41 @@
+"""ASCII chart renderer tests."""
+
+import pytest
+
+from repro.eval.ascii_chart import line_chart
+
+
+class TestLineChart:
+    def test_renders_markers_and_legend(self):
+        chart = line_chart(
+            {"mcts": [(100, 20.0), (500, 40.0)], "greedy": [(100, 5.0), (500, 35.0)]},
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "o mcts" in chart
+        assert "x greedy" in chart
+
+    def test_axis_labels_present(self):
+        chart = line_chart({"a": [(0, 0.0), (10, 50.0)]})
+        assert "50.0" in chart
+        assert "0.0" in chart
+        assert "budget" in chart
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+
+    def test_single_point_degenerate_ranges(self):
+        chart = line_chart({"a": [(5, 5.0)]})
+        assert "o" in chart
+
+    def test_dimensions(self):
+        chart = line_chart({"a": [(0, 0.0), (1, 1.0)]}, width=30, height=8)
+        body_rows = [line for line in chart.splitlines() if "|" in line or "+" in line]
+        assert len(body_rows) >= 8
+
+    def test_interpolates_between_points(self):
+        """A two-point series leaves a connected trail, not two dots."""
+        chart = line_chart({"a": [(0, 0.0), (100, 100.0)]}, width=40, height=10)
+        marker_count = chart.count("o")
+        assert marker_count >= 10

@@ -1,0 +1,123 @@
+"""Experiment definition tests (tiny scales — the benches run the real grids)."""
+
+import pytest
+
+from repro.eval.experiments import (
+    ExperimentSettings,
+    convergence,
+    figure2_whatif_time,
+    greedy_comparison,
+    rl_comparison,
+    table1_workload_statistics,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return ExperimentSettings(scale=0.02, seeds=1, k_values=(3,))
+
+
+class TestSettings:
+    def test_from_env_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_SEEDS", raising=False)
+        monkeypatch.delenv("REPRO_KS", raising=False)
+        settings = ExperimentSettings.from_env()
+        assert settings.scale == 0.1
+        assert settings.seeds == 3
+        assert settings.k_values == (5, 10, 20)
+
+    def test_from_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        monkeypatch.setenv("REPRO_SEEDS", "2")
+        monkeypatch.setenv("REPRO_KS", "4,8")
+        settings = ExperimentSettings.from_env()
+        assert settings.scale == 0.5
+        assert settings.seeds == 2
+        assert settings.k_values == (4, 8)
+
+    def test_budget_grids(self):
+        settings = ExperimentSettings(scale=1.0)
+        assert settings.budgets_for("tpch") == [50, 100, 200, 500, 1000]
+        assert settings.budgets_for("tpcds") == [1000, 2000, 3000, 4000, 5000]
+
+    def test_budget_floor(self):
+        settings = ExperimentSettings(scale=0.01)
+        assert min(settings.budgets_for("tpch")) >= 10
+
+
+class TestExperiments:
+    def test_table1_report(self, tiny):
+        text = table1_workload_statistics(tiny)
+        for name in ("job", "tpch", "tpcds", "real_d", "real_m"):
+            assert name in text
+
+    def test_figure2(self, tiny):
+        rows, text = figure2_whatif_time(tiny)
+        assert len(rows) == 5
+        assert "whatif_share" in text
+        # The what-if share grows with budget (at paper-scale budgets it
+        # reaches the 75-93% band — verified in test_timemodel).
+        fractions = [breakdown.whatif_fraction for _, breakdown in rows]
+        assert fractions == sorted(fractions)
+
+    def test_greedy_comparison_tpch(self, tiny):
+        records, text = greedy_comparison("tpch", tiny)
+        tuners = {r.tuner for r in records}
+        assert tuners == {
+            "vanilla_greedy",
+            "two_phase_greedy",
+            "autoadmin_greedy",
+            "mcts",
+        }
+        assert "Figure 17" in text
+
+    def test_rl_comparison_tpch(self, tiny):
+        records, text = rl_comparison("tpch", tiny)
+        assert {r.tuner for r in records} == {"dba_bandits", "no_dba", "mcts"}
+        assert "Figure 19" in text
+
+    def test_convergence_tpch(self, tiny):
+        series, text = convergence("tpch", max_indexes=3, settings=tiny)
+        assert set(series) == {"dba_bandits", "no_dba", "mcts"}
+        assert "Figure 21" in text
+
+
+class TestMoreExperiments:
+    def test_dta_comparison_with_storage(self, tiny):
+        from repro.eval.experiments import dta_comparison
+
+        records, text = dta_comparison("tpch", tiny, storage_constraint=True)
+        assert {r.tuner for r in records} == {"dta", "mcts"}
+        assert "with SC" in text
+
+    def test_dta_comparison_without_storage(self, tiny):
+        from repro.eval.experiments import dta_comparison
+
+        records, text = dta_comparison("tpch", tiny, storage_constraint=False)
+        assert "without SC" in text
+        assert all(r.calls_used <= r.budget for r in records)
+
+    def test_ablation_myopic(self, tiny):
+        from repro.eval.experiments import ablation
+
+        records, text = ablation("tpch", "myopic", tiny)
+        assert {r.tuner for r in records} == {
+            "uct_only", "uct_greedy", "prior_only", "prior_greedy",
+        }
+        assert "fixed step 0" in text
+
+    def test_ablation_random(self, tiny):
+        from repro.eval.experiments import ablation
+
+        records, text = ablation("tpch", "random", tiny)
+        assert "randomized step" in text
+
+    def test_greedy_rosters_deterministic_labels(self):
+        from repro.eval.experiments import dta_roster, greedy_roster, rl_roster
+
+        assert list(greedy_roster()) == [
+            "vanilla_greedy", "two_phase_greedy", "autoadmin_greedy", "mcts",
+        ]
+        assert list(rl_roster()) == ["dba_bandits", "no_dba", "mcts"]
+        assert list(dta_roster()) == ["dta", "mcts"]

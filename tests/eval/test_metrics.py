@@ -1,0 +1,68 @@
+"""Metrics tests."""
+
+import pytest
+
+from repro.config import TuningConstraints
+from repro.eval.metrics import improvement_percent, mean_and_std, round_series
+from repro.tuners import DBABanditTuner, VanillaGreedyTuner
+
+
+class TestImprovement:
+    def test_basic(self):
+        assert improvement_percent(100.0, 60.0) == pytest.approx(40.0)
+
+    def test_degenerate_baseline(self):
+        assert improvement_percent(0.0, 10.0) == 0.0
+
+    def test_no_improvement(self):
+        assert improvement_percent(100.0, 100.0) == 0.0
+
+    def test_regression_is_negative(self):
+        assert improvement_percent(100.0, 120.0) == pytest.approx(-20.0)
+
+
+class TestMeanStd:
+    def test_empty(self):
+        assert mean_and_std([]) == (0.0, 0.0)
+
+    def test_single(self):
+        assert mean_and_std([5.0]) == (5.0, 0.0)
+
+    def test_known_values(self):
+        mean, std = mean_and_std([1.0, 3.0])
+        assert mean == 2.0
+        assert std == 1.0
+
+
+class TestRoundSeries:
+    def test_rounds_cover_calls(self, toy_workload, toy_candidates):
+        result = DBABanditTuner(seed=0).tune(
+            toy_workload, budget=60, candidates=toy_candidates,
+            constraints=TuningConstraints(max_indexes=3),
+        )
+        series = round_series(result, calls_per_round=len(toy_workload))
+        assert series
+        rounds = [r for r, _ in series]
+        assert rounds == list(range(1, len(series) + 1))
+
+    def test_series_monotone_best_so_far(self, toy_workload, toy_candidates):
+        result = DBABanditTuner(seed=0).tune(
+            toy_workload, budget=100, candidates=toy_candidates
+        )
+        series = round_series(result, calls_per_round=len(toy_workload))
+        values = [v for _, v in series]
+        assert values == sorted(values)
+
+    def test_empty_history_gives_empty_series(self, toy_workload, toy_candidates):
+        result = VanillaGreedyTuner().tune(
+            toy_workload, budget=15, candidates=toy_candidates
+        )
+        result.history.clear()
+        assert round_series(result, 10) == []
+
+    def test_invalid_round_size(self, toy_workload, toy_candidates):
+        result = VanillaGreedyTuner().tune(
+            toy_workload, budget=15, candidates=toy_candidates
+        )
+        with pytest.raises(ValueError):
+            round_series(result, 0)

@@ -1,0 +1,94 @@
+"""Report formatting tests."""
+
+from repro.eval.report import format_grid, format_records, format_series
+from repro.eval.runner import RunRecord
+
+
+def record(tuner="mcts", k=5, budget=100, mean=42.0, std=1.5):
+    return RunRecord(
+        workload="toy",
+        tuner=tuner,
+        max_indexes=k,
+        budget=budget,
+        improvement_mean=mean,
+        improvement_std=std,
+        calls_used=float(budget),
+        seconds=0.1,
+    )
+
+
+class TestFormatRecords:
+    def test_contains_all_rows(self):
+        text = format_records([record(), record(tuner="dta")])
+        assert "mcts" in text
+        assert "dta" in text
+
+    def test_numbers_rendered(self):
+        assert "42.0" in format_records([record()])
+
+
+class TestFormatGrid:
+    def test_panel_per_k(self):
+        records = [record(k=5), record(k=10)]
+        text = format_grid(records, "Title")
+        assert "K = 5" in text
+        assert "K = 10" in text
+
+    def test_std_rendered_for_stochastic(self):
+        text = format_grid([record(std=2.0)], "T")
+        assert "±" in text
+
+    def test_std_hidden_for_deterministic(self):
+        text = format_grid([record(std=0.0)], "T")
+        assert "±" not in text
+
+    def test_missing_cells_dashed(self):
+        records = [record(budget=100), record(tuner="dta", budget=200)]
+        text = format_grid(records, "T")
+        assert "--" in text
+
+    def test_minute_labels(self):
+        text = format_grid([record(budget=1000)], "T", minute_labels={1000: 20.0})
+        assert "1000(20)" in text
+
+
+class TestFormatSeries:
+    def test_rows_per_round(self):
+        series = {"a": [(1, 10.0), (2, 20.0)], "b": [(1, 5.0)]}
+        text = format_series("Conv", series)
+        assert "Conv" in text
+        assert "10.0" in text
+        assert "20.0" in text
+
+    def test_carried_forward_marker(self):
+        series = {"a": [(1, 10.0), (2, 20.0)], "b": [(1, 5.0)]}
+        text = format_series("Conv", series)
+        assert "*" in text
+
+
+class TestJSONExport:
+    def test_roundtrips_scalars(self):
+        import json
+
+        from repro.eval.report import records_to_json
+
+        payload = json.loads(records_to_json([record(), record(tuner="dta")]))
+        assert len(payload) == 2
+        assert payload[0]["tuner"] == "mcts"
+        assert payload[0]["improvement_mean"] == 42.0
+        assert set(payload[0]) == {
+            "workload",
+            "tuner",
+            "max_indexes",
+            "budget",
+            "improvement_mean",
+            "improvement_std",
+            "calls_used",
+            "seconds",
+            "seeds",
+        }
+
+    def test_compact_mode(self):
+        from repro.eval.report import records_to_json
+
+        assert "\n" not in records_to_json([record()], indent=None)

@@ -1,0 +1,80 @@
+"""Experiment runner tests."""
+
+from repro.config import TuningConstraints
+from repro.eval.runner import ExperimentRunner
+from repro.tuners import MCTSTuner, VanillaGreedyTuner
+
+
+class TestRunCell:
+    def test_deterministic_cell_runs_once(self, toy_workload, toy_candidates):
+        runner = ExperimentRunner(toy_workload, candidates=toy_candidates, seeds=[1, 2, 3])
+        record = runner.run_cell(
+            lambda seed: VanillaGreedyTuner(),
+            budget=40,
+            constraints=TuningConstraints(max_indexes=3),
+            stochastic=False,
+        )
+        assert len(record.seeds) == 1
+        assert record.improvement_std == 0.0
+
+    def test_stochastic_cell_averages_seeds(self, toy_workload, toy_candidates):
+        runner = ExperimentRunner(toy_workload, candidates=toy_candidates, seeds=[1, 2, 3])
+        record = runner.run_cell(
+            lambda seed: MCTSTuner(seed=seed),
+            budget=40,
+            constraints=TuningConstraints(max_indexes=3),
+        )
+        assert len(record.seeds) == 3
+        assert 0 <= record.improvement_mean <= 100
+
+    def test_results_retained_when_requested(self, toy_workload, toy_candidates):
+        runner = ExperimentRunner(
+            toy_workload, candidates=toy_candidates, seeds=[1], keep_results=True
+        )
+        record = runner.run_cell(
+            lambda seed: VanillaGreedyTuner(),
+            budget=30,
+            constraints=TuningConstraints(max_indexes=3),
+            stochastic=False,
+        )
+        assert len(record.results) == 1
+
+    def test_results_dropped_when_disabled(self, toy_workload, toy_candidates):
+        runner = ExperimentRunner(
+            toy_workload, candidates=toy_candidates, seeds=[1], keep_results=False
+        )
+        record = runner.run_cell(
+            lambda seed: VanillaGreedyTuner(),
+            budget=30,
+            constraints=TuningConstraints(max_indexes=3),
+            stochastic=False,
+        )
+        assert record.results == []
+
+
+class TestRunGrid:
+    def test_grid_shape(self, toy_workload, toy_candidates):
+        runner = ExperimentRunner(
+            toy_workload, candidates=toy_candidates, seeds=[1], keep_results=False
+        )
+        roster = {
+            "vanilla": (lambda seed: VanillaGreedyTuner(), False),
+            "mcts": (lambda seed: MCTSTuner(seed=seed), True),
+        }
+        records = runner.run_grid(roster, budgets=[20, 40], k_values=[2, 3])
+        assert len(records) == 2 * 2 * 2
+        assert {r.max_indexes for r in records} == {2, 3}
+        assert {r.budget for r in records} == {20, 40}
+
+    def test_storage_constraint_threads_through(self, toy_workload, toy_candidates):
+        cap = 2 * min(ix.estimated_size_bytes for ix in toy_candidates)
+        runner = ExperimentRunner(toy_workload, candidates=toy_candidates, seeds=[1])
+        records = runner.run_grid(
+            {"vanilla": (lambda seed: VanillaGreedyTuner(), False)},
+            budgets=[40],
+            k_values=[5],
+            max_storage_bytes=cap,
+        )
+        result = records[0].results[0]
+        used = sum(ix.estimated_size_bytes for ix in result.configuration)
+        assert used <= cap

@@ -1,0 +1,54 @@
+"""What-if latency model tests (Figure 2 fidelity)."""
+
+import pytest
+
+from repro.eval.timemodel import WhatIfTimeModel
+
+
+class TestLatencyModel:
+    def test_more_joins_cost_more(self, tpch):
+        model = WhatIfTimeModel(tpch)
+        q6 = tpch.query("q6")  # single table
+        q8 = tpch.query("q8")  # 7-way join
+        assert model.call_seconds(q8) > model.call_seconds(q6)
+
+    def test_tpcds_like_call_latency_about_a_second(self):
+        """The paper: 'each what-if call on most TPC-DS queries takes around
+        1 second'."""
+        from repro.workloads import get_workload
+
+        model = WhatIfTimeModel(get_workload("tpcds"))
+        assert 0.5 <= model.mean_call_seconds <= 2.0
+
+    def test_breakdown_whatif_dominates(self, tpch):
+        """Figure 2: what-if calls take roughly 75-93% of tuning time."""
+        model = WhatIfTimeModel(tpch)
+        for calls in (1000, 3000, 5000):
+            breakdown = model.breakdown(calls)
+            assert 0.70 <= breakdown.whatif_fraction <= 0.95
+
+    def test_breakdown_total(self, tpch):
+        model = WhatIfTimeModel(tpch)
+        breakdown = model.breakdown(100)
+        assert breakdown.total_seconds == pytest.approx(
+            breakdown.whatif_seconds + breakdown.other_seconds
+        )
+
+    def test_negative_calls_rejected(self, tpch):
+        with pytest.raises(ValueError):
+            WhatIfTimeModel(tpch).breakdown(-1)
+
+
+class TestBudgetTimeMapping:
+    def test_roundtrip_approximate(self, tpch):
+        model = WhatIfTimeModel(tpch)
+        minutes = model.minutes_for_budget(2000)
+        recovered = model.budget_for_minutes(minutes)
+        assert recovered == pytest.approx(2000, rel=0.05)
+
+    def test_zero_minutes_zero_budget(self, tpch):
+        assert WhatIfTimeModel(tpch).budget_for_minutes(0) == 0
+
+    def test_monotone_in_budget(self, tpch):
+        model = WhatIfTimeModel(tpch)
+        assert model.minutes_for_budget(5000) > model.minutes_for_budget(1000)

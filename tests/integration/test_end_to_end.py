@@ -1,0 +1,104 @@
+"""End-to-end integration tests across the full pipeline."""
+
+import pytest
+
+from repro import (
+    MCTSTuner,
+    TuningConstraints,
+    TwoPhaseGreedyTuner,
+    VanillaGreedyTuner,
+    WhatIfOptimizer,
+    get_workload,
+)
+from repro.workload import CandidateGenerator
+
+
+@pytest.fixture(scope="module")
+def tpch_candidates(tpch):
+    return CandidateGenerator(tpch.schema).for_workload(tpch)
+
+
+class TestTPCHEndToEnd:
+    def test_sql_to_recommendation(self, tpch, tpch_candidates):
+        """Full pipeline: 22 real SQL texts -> parsed -> costed -> tuned."""
+        result = MCTSTuner(seed=0).tune(
+            tpch,
+            budget=150,
+            constraints=TuningConstraints(max_indexes=8),
+            candidates=tpch_candidates,
+        )
+        assert result.calls_used <= 150
+        assert 0 < result.true_improvement() <= 100
+        assert all(ix.table in tpch.schema.table_names for ix in result.configuration)
+
+    def test_recommendation_actually_changes_plans(self, tpch, tpch_candidates):
+        result = MCTSTuner(seed=1).tune(
+            tpch, budget=200, candidates=tpch_candidates
+        )
+        optimizer = WhatIfOptimizer(tpch)
+        changed = 0
+        for query in tpch:
+            before = optimizer.explain(query, frozenset())
+            after = optimizer.explain(query, result.configuration)
+            if after.total_cost < before.total_cost - 1e-9:
+                changed += 1
+        assert changed >= 5  # multiple queries benefit, not just one
+
+    def test_shared_candidates_consistent_across_tuners(self, tpch, tpch_candidates):
+        """Different algorithms tuning the same problem stay comparable."""
+        constraints = TuningConstraints(max_indexes=10)
+        results = {}
+        for tuner in (VanillaGreedyTuner(), TwoPhaseGreedyTuner(), MCTSTuner(seed=0)):
+            results[tuner.name] = tuner.tune(
+                tpch, budget=100, constraints=constraints,
+                candidates=tpch_candidates,
+            )
+        baselines = {r.baseline_cost for r in results.values()}
+        assert len(baselines) == 1  # same workload baseline everywhere
+        for result in results.values():
+            assert result.calls_used <= 100
+
+
+class TestBudgetScaling:
+    """The paper's qualitative claims at workload level."""
+
+    def test_mcts_beats_vanilla_at_small_budget_tpch(self, tpch, tpch_candidates):
+        constraints = TuningConstraints(max_indexes=10)
+        vanilla = VanillaGreedyTuner().tune(
+            tpch, budget=50, constraints=constraints, candidates=tpch_candidates
+        )
+        mcts = [
+            MCTSTuner(seed=s)
+            .tune(tpch, budget=50, constraints=constraints, candidates=tpch_candidates)
+            .true_improvement()
+            for s in range(3)
+        ]
+        assert sum(mcts) / len(mcts) >= vanilla.true_improvement()
+
+    def test_improvement_saturates_with_budget(self, tpch, tpch_candidates):
+        constraints = TuningConstraints(max_indexes=10)
+        small = MCTSTuner(seed=0).tune(
+            tpch, budget=40, constraints=constraints, candidates=tpch_candidates
+        )
+        large = MCTSTuner(seed=0).tune(
+            tpch, budget=600, constraints=constraints, candidates=tpch_candidates
+        )
+        assert large.true_improvement() >= small.true_improvement() - 2.0
+
+
+class TestScaledRealWorkloads:
+    def test_real_m_tunes(self):
+        workload = get_workload("real_m", scale=0.1)
+        result = MCTSTuner(seed=0).tune(
+            workload, budget=100, constraints=TuningConstraints(max_indexes=5)
+        )
+        assert result.calls_used <= 100
+        assert result.true_improvement() >= 0
+
+    def test_real_d_tunes(self):
+        workload = get_workload("real_d", scale=0.05)
+        result = TwoPhaseGreedyTuner().tune(
+            workload, budget=100, constraints=TuningConstraints(max_indexes=5)
+        )
+        assert result.calls_used <= 100
+        assert result.true_improvement() >= 0

@@ -1,0 +1,43 @@
+"""Every example script must run cleanly (small budgets keep them quick)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "improvement" in result.stdout
+        assert "CREATE INDEX" in result.stdout
+
+    def test_custom_workload(self):
+        result = run_example("custom_workload.py")
+        assert result.returncode == 0, result.stderr
+        assert "plan with recommended configuration" in result.stdout
+
+    def test_compare_tuners_small(self):
+        result = run_example("compare_tuners.py", "tpch", "60", "5")
+        assert result.returncode == 0, result.stderr
+        assert "mcts" in result.stdout
+        assert "vanilla_greedy" in result.stdout
+
+    def test_storage_constraint(self):
+        result = run_example("storage_constraint.py")
+        assert result.returncode == 0, result.stderr
+        assert "storage cap" in result.stdout

@@ -1,0 +1,71 @@
+"""Cross-cutting pipeline properties over every built-in workload.
+
+These are the "does the whole thing hang together" checks: every workload
+parses, binds, generates candidates, costs monotonically, and every tuner
+honours the budget contract on it.
+"""
+
+import pytest
+
+from repro.config import TuningConstraints
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.tuners import MCTSTuner, TwoPhaseGreedyTuner
+from repro.workload import CandidateGenerator
+from repro.workloads import available_workloads, get_workload
+
+_SCALES = {"real_d": 0.05, "real_m": 0.05}
+
+
+@pytest.fixture(scope="module", params=available_workloads())
+def any_workload(request):
+    return get_workload(request.param, scale=_SCALES.get(request.param, 0.1))
+
+
+class TestEveryWorkload:
+    def test_candidates_nonempty_and_valid(self, any_workload):
+        candidates = CandidateGenerator(any_workload.schema).for_workload(
+            any_workload
+        )
+        assert len(candidates) >= 20
+        for index in candidates[:50]:
+            table = any_workload.schema.table(index.table)
+            for column in index.all_columns:
+                assert table.has_column(column)
+
+    def test_costs_positive_and_improvable(self, any_workload):
+        optimizer = WhatIfOptimizer(any_workload)
+        candidates = CandidateGenerator(any_workload.schema).for_workload(
+            any_workload
+        )
+        baseline = optimizer.empty_workload_cost()
+        assert baseline > 0
+        configured = optimizer.true_workload_cost(frozenset(candidates))
+        assert configured < baseline  # some index helps somewhere
+
+    def test_mcts_budget_contract(self, any_workload):
+        result = MCTSTuner(seed=0).tune(
+            any_workload,
+            budget=40,
+            constraints=TuningConstraints(max_indexes=5),
+        )
+        assert result.calls_used <= 40
+        assert len(result.configuration) <= 5
+        assert 0.0 <= result.true_improvement() <= 100.0
+
+    def test_two_phase_budget_contract(self, any_workload):
+        result = TwoPhaseGreedyTuner().tune(
+            any_workload,
+            budget=40,
+            constraints=TuningConstraints(max_indexes=5),
+        )
+        assert result.calls_used <= 40
+        assert result.true_improvement() >= 0.0
+
+    def test_estimated_improvement_conservative(self, any_workload):
+        """Derived-cost estimates never overstate the true improvement."""
+        result = MCTSTuner(seed=1).tune(
+            any_workload,
+            budget=30,
+            constraints=TuningConstraints(max_indexes=5),
+        )
+        assert result.estimated_improvement <= result.true_improvement() + 1e-6

@@ -1,0 +1,48 @@
+"""Replay buffer tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ReplayBuffer, Transition
+
+
+def transition(i):
+    return Transition(
+        state=np.array([float(i)]),
+        action=i,
+        reward=float(i),
+        next_state=np.array([float(i + 1)]),
+        done=False,
+    )
+
+
+class TestReplayBuffer:
+    def test_push_and_len(self):
+        buffer = ReplayBuffer(capacity=5, rng=np.random.default_rng(0))
+        for i in range(3):
+            buffer.push(transition(i))
+        assert len(buffer) == 3
+
+    def test_capacity_overwrites_oldest(self):
+        buffer = ReplayBuffer(capacity=3, rng=np.random.default_rng(0))
+        for i in range(5):
+            buffer.push(transition(i))
+        assert len(buffer) == 3
+        actions = {t.action for t in buffer.sample(3)}
+        assert 0 not in actions and 1 not in actions
+
+    def test_sample_capped_at_size(self):
+        buffer = ReplayBuffer(capacity=10, rng=np.random.default_rng(0))
+        buffer.push(transition(0))
+        assert len(buffer.sample(32)) == 1
+
+    def test_sample_without_replacement(self):
+        buffer = ReplayBuffer(capacity=10, rng=np.random.default_rng(0))
+        for i in range(10):
+            buffer.push(transition(i))
+        sample = buffer.sample(10)
+        assert len({t.action for t in sample}) == 10
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(capacity=0, rng=np.random.default_rng(0))

@@ -1,0 +1,168 @@
+"""Cost model tests: access paths, joins, sort avoidance, explain output."""
+
+import pytest
+
+from repro.catalog import Index
+from repro.optimizer.cost_model import CostModel
+from repro.workload import bind_query
+from repro.workload.query import Query
+
+
+@pytest.fixture
+def model(star_schema):
+    return CostModel(star_schema)
+
+
+def prepared_for(model, schema, sql, qid="q"):
+    bound = bind_query(schema, Query(qid=qid, sql=sql).statement, qid)
+    return model.prepare(bound)
+
+
+def fact_index(schema, keys, includes=()):
+    return Index.build(schema.table("fact"), keys, includes)
+
+
+class TestAccessPaths:
+    def test_empty_config_is_heap_scan(self, model, star_schema):
+        prepared = prepared_for(model, star_schema, "SELECT val FROM fact WHERE fk1 = 1")
+        plan = model.explain(prepared, ())
+        assert plan.first.method == "heap_scan"
+
+    def test_selective_covering_seek_beats_scan(self, model, star_schema):
+        prepared = prepared_for(model, star_schema, "SELECT val FROM fact WHERE fk1 = 1")
+        index = fact_index(star_schema, ["fk1"], ["val"])
+        assert model.cost(prepared, [index]) < model.cost(prepared, ())
+        assert model.explain(prepared, [index]).first.method == "index_only_seek"
+
+    def test_noncovering_seek_pays_lookups(self, model, star_schema):
+        prepared = prepared_for(model, star_schema, "SELECT val FROM fact WHERE fk1 = 1")
+        covering = fact_index(star_schema, ["fk1"], ["val"])
+        bare = fact_index(star_schema, ["fk1"])
+        assert model.cost(prepared, [covering]) < model.cost(prepared, [bare])
+
+    def test_unselective_noncovering_index_ignored(self, model, star_schema):
+        # cat has 50 distinct values -> 20k rows/lookup batch: scan wins.
+        prepared = prepared_for(
+            model, star_schema, "SELECT val, fk1, fk2 FROM fact WHERE cat = 'x'"
+        )
+        bare = fact_index(star_schema, ["cat"])
+        plan = model.explain(prepared, [bare])
+        assert plan.first.method == "heap_scan"
+
+    def test_index_only_scan_when_covering_without_seek(self, model, star_schema):
+        prepared = prepared_for(model, star_schema, "SELECT val FROM fact")
+        covering = fact_index(star_schema, ["val"])
+        plan = model.explain(prepared, [covering])
+        assert plan.first.method == "index_only_scan"
+        assert model.cost(prepared, [covering]) < model.cost(prepared, ())
+
+    def test_range_predicate_extends_seek(self, model, star_schema):
+        prepared = prepared_for(
+            model, star_schema, "SELECT val FROM fact WHERE fk1 = 1 AND val < 100"
+        )
+        with_range = fact_index(star_schema, ["fk1", "val"])
+        without = fact_index(star_schema, ["fk1"], ["val"])
+        # Both cover; the (fk1, val) key consumes the range too -> cheaper.
+        assert model.cost(prepared, [with_range]) <= model.cost(prepared, [without])
+
+    def test_seek_needs_leading_key_match(self, model, star_schema):
+        prepared = prepared_for(model, star_schema, "SELECT fk1 FROM fact WHERE fk1 = 1")
+        wrong_order = fact_index(star_schema, ["val", "fk1"])
+        plan = model.explain(prepared, [wrong_order])
+        # No seek possible; covering index-only scan is the best this offers.
+        assert plan.first.method in ("heap_scan", "index_only_scan")
+
+
+class TestJoins:
+    def test_hash_join_by_default(self, model, star_schema):
+        prepared = prepared_for(
+            model, star_schema, "SELECT val FROM fact, dim1 WHERE fact.fk1 = dim1.id"
+        )
+        plan = model.explain(prepared, ())
+        assert plan.joins[0].method == "hash_join"
+
+    def test_inl_join_with_selective_outer(self, model, star_schema):
+        # dim1 filtered to ~1 row, probing fact via fk1 index: INLJ wins.
+        prepared = prepared_for(
+            model,
+            star_schema,
+            "SELECT fact.val FROM fact, dim1 "
+            "WHERE fact.fk1 = dim1.id AND dim1.id = 7",
+        )
+        probe = fact_index(star_schema, ["fk1"], ["val"])
+        plan = model.explain(prepared, [probe])
+        assert plan.joins[0].method == "index_nested_loop"
+        assert model.cost(prepared, [probe]) < model.cost(prepared, ())
+
+    def test_inl_join_never_worse_than_hash(self, model, star_schema):
+        prepared = prepared_for(
+            model, star_schema, "SELECT fact.val FROM fact, dim1 WHERE fact.fk1 = dim1.id"
+        )
+        probe = fact_index(star_schema, ["fk1"], ["val"])
+        with_index = model.cost(prepared, [probe])
+        without = model.cost(prepared, ())
+        assert with_index <= without
+
+    def test_three_way_join_costs(self, model, star_schema):
+        prepared = prepared_for(
+            model,
+            star_schema,
+            "SELECT fact.val FROM fact, dim1, dim2 "
+            "WHERE fact.fk1 = dim1.id AND fact.fk2 = dim2.id",
+        )
+        plan = model.explain(prepared, ())
+        assert len(plan.joins) == 2
+        assert plan.total_cost > 0
+
+
+class TestSortStage:
+    def test_order_providing_index_avoids_sort(self, model, star_schema):
+        prepared = prepared_for(
+            model, star_schema, "SELECT cat, COUNT(*) FROM fact GROUP BY cat"
+        )
+        ordered = fact_index(star_schema, ["cat"])
+        plan = model.explain(prepared, [ordered])
+        assert plan.sort_avoided
+        assert plan.sort_cost == 0.0
+        assert model.cost(prepared, [ordered]) < model.cost(prepared, ())
+
+    def test_sort_paid_without_index(self, model, star_schema):
+        prepared = prepared_for(
+            model, star_schema, "SELECT cat, COUNT(*) FROM fact GROUP BY cat"
+        )
+        plan = model.explain(prepared, ())
+        assert plan.sort_cost > 0
+        assert not plan.sort_avoided
+
+
+class TestDeterminism:
+    def test_cost_is_deterministic(self, model, star_schema):
+        prepared = prepared_for(
+            model, star_schema, "SELECT val FROM fact, dim1 WHERE fact.fk1 = dim1.id"
+        )
+        index = fact_index(star_schema, ["fk1"], ["val"])
+        assert model.cost(prepared, [index]) == model.cost(prepared, [index])
+
+    def test_explain_total_matches_cost(self, model, star_schema):
+        prepared = prepared_for(
+            model,
+            star_schema,
+            "SELECT fact.val FROM fact, dim1 WHERE fact.fk1 = dim1.id AND dim1.attr = 3",
+        )
+        index = fact_index(star_schema, ["fk1"], ["val"])
+        assert model.explain(prepared, [index]).total_cost == pytest.approx(
+            model.cost(prepared, [index])
+        )
+
+    def test_irrelevant_index_changes_nothing(self, model, star_schema):
+        prepared = prepared_for(model, star_schema, "SELECT val FROM fact WHERE fk1 = 1")
+        dim_index = Index.build(star_schema.table("dim2"), ["name"])
+        assert model.cost(prepared, [dim_index]) == model.cost(prepared, ())
+
+    def test_plan_render_contains_methods(self, model, star_schema):
+        prepared = prepared_for(
+            model, star_schema, "SELECT val FROM fact, dim1 WHERE fact.fk1 = dim1.id"
+        )
+        text = model.explain(prepared, ()).render()
+        assert "hash_join" in text
+        assert "heap_scan" in text

@@ -1,0 +1,81 @@
+"""Cost-model parameter sensitivity tests."""
+
+import pytest
+
+from repro.catalog import Index
+from repro.optimizer.cost_model import CostModel, CostModelParams
+from repro.workload import bind_query
+from repro.workload.query import Query
+
+
+def prepared(model, schema, sql):
+    return model.prepare(bind_query(schema, Query(qid="q", sql=sql).statement, "q"))
+
+
+class TestParams:
+    def test_defaults_sane(self):
+        params = CostModelParams()
+        assert params.rand_page_cost > params.seq_page_cost
+        assert params.cpu_tuple_cost < params.seq_page_cost
+
+    def test_custom_params_change_costs(self, star_schema):
+        cheap_io = CostModel(star_schema, CostModelParams(seq_page_cost=0.1))
+        default = CostModel(star_schema)
+        sql = "SELECT val FROM fact"
+        assert cheap_io.cost(prepared(cheap_io, star_schema, sql), ()) < default.cost(
+            prepared(default, star_schema, sql), ()
+        )
+
+    def test_expensive_lookups_favor_covering(self, star_schema):
+        """Raising random-page cost widens the covering/non-covering gap
+        (on a filter selective enough that the bare seek is still chosen)."""
+        sql = "SELECT val FROM fact WHERE fk1 = 1"
+        bare = Index.build(star_schema.table("fact"), ["fk1"])
+        covering = Index.build(star_schema.table("fact"), ["fk1"], ["val"])
+
+        def gap(params):
+            model = CostModel(star_schema, params)
+            p = prepared(model, star_schema, sql)
+            return model.cost(p, [bare]) - model.cost(p, [covering])
+
+        assert gap(CostModelParams(rand_page_cost=10.0)) > gap(
+            CostModelParams(rand_page_cost=2.5)
+        )
+
+    def test_monotone_under_any_params(self, star_schema):
+        """Assumption 1 holds for arbitrary parameterisations."""
+        for params in (
+            CostModelParams(),
+            CostModelParams(rand_page_cost=20.0, cpu_tuple_cost=0.05),
+            CostModelParams(seq_page_cost=0.01, sort_factor=0.1),
+        ):
+            model = CostModel(star_schema, params)
+            p = prepared(
+                model,
+                star_schema,
+                "SELECT cat, COUNT(*) FROM fact, dim1 "
+                "WHERE fact.fk1 = dim1.id AND fact.cat = 'x' GROUP BY cat",
+            )
+            fact = star_schema.table("fact")
+            dim = star_schema.table("dim1")
+            indexes = [
+                Index.build(fact, ["cat"], ["fk1"]),
+                Index.build(fact, ["fk1"], ["cat"]),
+                Index.build(dim, ["id"]),
+            ]
+            previous = model.cost(p, ())
+            for size in range(1, len(indexes) + 1):
+                current = model.cost(p, indexes[:size])
+                assert current <= previous + 1e-9
+                previous = current
+
+    def test_zero_sort_factor_eliminates_sort_cost(self, star_schema):
+        model = CostModel(star_schema, CostModelParams(sort_factor=0.0))
+        p = prepared(model, star_schema, "SELECT cat FROM fact ORDER BY cat")
+        plan = model.explain(p, ())
+        assert plan.sort_cost == 0.0
+
+    def test_btree_fanout_affects_descent(self, star_schema):
+        shallow = CostModel(star_schema, CostModelParams(btree_fanout=10_000.0))
+        deep = CostModel(star_schema, CostModelParams(btree_fanout=4.0))
+        assert deep._descend_cost(10**6) > shallow._descend_cost(10**6)

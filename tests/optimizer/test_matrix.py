@@ -1,0 +1,115 @@
+"""Budget allocation matrix and layout tests (Section 3.2)."""
+
+import pytest
+
+from repro.catalog import Index
+from repro.exceptions import TuningError
+from repro.optimizer.matrix import BudgetAllocationMatrix, Layout, LayoutEntry
+
+
+@pytest.fixture
+def configs(star_schema):
+    table = star_schema.table("fact")
+    a = Index.build(table, ["fk1"])
+    b = Index.build(table, ["fk2"])
+    return frozenset({a}), frozenset({b}), frozenset({a, b})
+
+
+class TestLayout:
+    def test_record_orders_steps(self, configs):
+        c1, c2, _ = configs
+        layout = Layout()
+        layout.record(c1, "q1")
+        layout.record(c2, "q2")
+        assert [entry.step for entry in layout] == [1, 2]
+
+    def test_non_contiguous_entries_rejected(self, configs):
+        c1, _, _ = configs
+        with pytest.raises(TuningError, match="contiguous"):
+            Layout([LayoutEntry(step=2, configuration=c1, qid="q1")])
+
+    def test_same_outcome_ignores_order(self, configs):
+        c1, c2, _ = configs
+        first = Layout()
+        first.record(c1, "q1")
+        first.record(c2, "q2")
+        second = Layout()
+        second.record(c2, "q2")
+        second.record(c1, "q1")
+        assert first.same_outcome(second)
+
+    def test_different_cells_differ(self, configs):
+        c1, c2, _ = configs
+        first = Layout()
+        first.record(c1, "q1")
+        second = Layout()
+        second.record(c2, "q1")
+        assert not first.same_outcome(second)
+
+    def test_indexing(self, configs):
+        c1, _, _ = configs
+        layout = Layout()
+        entry = layout.record(c1, "q1")
+        assert layout[0] == entry
+        assert len(layout) == 1
+
+
+class TestMatrix:
+    def test_fill_and_value(self, configs):
+        c1, _, _ = configs
+        matrix = BudgetAllocationMatrix(["q1", "q2"], budget=3)
+        assert matrix.fill(c1, "q1") is True
+        assert matrix.value(c1, "q1") == 1
+        assert matrix.value(c1, "q2") == 0
+
+    def test_refill_is_free(self, configs):
+        c1, _, _ = configs
+        matrix = BudgetAllocationMatrix(["q1"], budget=1)
+        assert matrix.fill(c1, "q1") is True
+        assert matrix.fill(c1, "q1") is False
+        assert matrix.filled_cells == 1
+
+    def test_budget_enforced(self, configs):
+        c1, c2, _ = configs
+        matrix = BudgetAllocationMatrix(["q1"], budget=1)
+        matrix.fill(c1, "q1")
+        with pytest.raises(TuningError, match="budget"):
+            matrix.fill(c2, "q1")
+
+    def test_unknown_query_rejected(self, configs):
+        c1, _, _ = configs
+        matrix = BudgetAllocationMatrix(["q1"], budget=1)
+        with pytest.raises(TuningError, match="unknown query"):
+            matrix.fill(c1, "zz")
+
+    def test_row_view(self, configs):
+        c1, _, _ = configs
+        matrix = BudgetAllocationMatrix(["q1", "q2", "q3"], budget=5)
+        matrix.fill(c1, "q2")
+        assert matrix.row(c1) == {"q1": 0, "q2": 1, "q3": 0}
+
+    def test_layout_mirrors_fills(self, configs):
+        c1, c2, _ = configs
+        matrix = BudgetAllocationMatrix(["q1", "q2"], budget=5)
+        matrix.fill(c1, "q1")
+        matrix.fill(c2, "q2")
+        assert matrix.layout.cells == {(c1, "q1"), (c2, "q2")}
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(TuningError):
+            BudgetAllocationMatrix(["q1", "q1"], budget=1)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(TuningError):
+            BudgetAllocationMatrix(["q1"], budget=-1)
+
+
+class TestEquation3:
+    def test_total_cell_value_bounded_by_budget(self, configs):
+        """Σ v(B_ij) <= B (Equation 3 as an inequality during the run)."""
+        c1, c2, c3 = configs
+        matrix = BudgetAllocationMatrix(["q1", "q2"], budget=4)
+        matrix.fill(c1, "q1")
+        matrix.fill(c2, "q1")
+        matrix.fill(c3, "q2")
+        assert matrix.filled_cells <= matrix.budget

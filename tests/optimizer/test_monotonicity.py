@@ -1,0 +1,64 @@
+"""Property-based verification of Assumption 1 (monotonicity).
+
+The paper's cost derivation is justified by the assumption that adding
+indexes never increases a query's what-if cost. Our cost model guarantees
+this by construction; these hypothesis tests verify it holds over random
+queries and random configuration pairs ``C1 ⊆ C2``.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog import Index
+from repro.optimizer.cost_model import CostModel
+from repro.workload import CandidateGenerator, bind_query
+
+
+def _candidate_pool(schema, workload):
+    return CandidateGenerator(schema).for_workload(workload)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_cost_monotone_under_subset_configs(data, star_schema, toy_workload, toy_candidates):
+    """c(q, C2) <= c(q, C1) whenever C1 is a subset of C2."""
+    model = CostModel(star_schema)
+    query = data.draw(st.sampled_from(toy_workload.queries))
+    pool = toy_candidates
+    subset_size = data.draw(st.integers(min_value=0, max_value=min(4, len(pool))))
+    superset_extra = data.draw(st.integers(min_value=0, max_value=4))
+    shuffled = data.draw(st.permutations(pool))
+    small = frozenset(shuffled[:subset_size])
+    large = small | frozenset(shuffled[subset_size : subset_size + superset_extra])
+
+    prepared = model.prepare(bind_query(star_schema, query.statement, query.qid))
+    assert model.cost(prepared, large) <= model.cost(prepared, small) + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_adding_single_index_never_hurts(data, star_schema, toy_workload, toy_candidates):
+    """The single-step version: c(q, C ∪ {z}) <= c(q, C)."""
+    model = CostModel(star_schema)
+    query = data.draw(st.sampled_from(toy_workload.queries))
+    shuffled = data.draw(st.permutations(toy_candidates))
+    base_size = data.draw(st.integers(min_value=0, max_value=6))
+    base = frozenset(shuffled[:base_size])
+    extra = shuffled[base_size]
+
+    prepared = model.prepare(bind_query(star_schema, query.statement, query.qid))
+    assert model.cost(prepared, base | {extra}) <= model.cost(prepared, base) + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_monotone_on_tpch(data, tpch):
+    """Monotonicity also holds on the real TPC-H queries."""
+    model = CostModel(tpch.schema)
+    pool = _candidate_pool(tpch.schema, tpch)
+    query = data.draw(st.sampled_from(tpch.queries))
+    shuffled = data.draw(st.permutations(pool[:30]))
+    small = frozenset(shuffled[:3])
+    large = small | frozenset(shuffled[3:8])
+
+    prepared = model.prepare(bind_query(tpch.schema, query.statement, query.qid))
+    assert model.cost(prepared, large) <= model.cost(prepared, small) + 1e-9

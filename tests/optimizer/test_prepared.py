@@ -1,0 +1,135 @@
+"""Query preparation tests: selectivities, join order, sort detection."""
+
+import pytest
+
+from repro.optimizer.prepared import prepare_query
+from repro.workload import bind_query
+from repro.workload.query import Query
+
+
+def prepare(schema, sql, qid="q"):
+    bound = bind_query(schema, Query(qid=qid, sql=sql).statement, qid)
+    return prepare_query(schema, bound)
+
+
+class TestAccessPreparation:
+    def test_local_selectivity_product(self, star_schema):
+        prepared = prepare(star_schema, "SELECT val FROM fact WHERE fk1 = 1 AND cat = 'x'")
+        access = prepared.accesses["fact"]
+        expected = (1 / 1000) * (1 / 50)
+        assert access.local_selectivity == pytest.approx(expected)
+
+    def test_output_rows_at_least_one(self, star_schema):
+        prepared = prepare(
+            star_schema, "SELECT val FROM fact WHERE fk1 = 1 AND fk2 = 1 AND cat = 'x'"
+        )
+        assert prepared.accesses["fact"].output_rows >= 1.0
+
+    def test_equality_and_range_split(self, star_schema):
+        prepared = prepare(
+            star_schema, "SELECT val FROM fact WHERE fk1 = 1 AND val > 5000"
+        )
+        access = prepared.accesses["fact"]
+        assert "fk1" in access.equality_selectivity
+        assert "val" in access.range_selectivity
+
+    def test_residual_tracked_separately(self, star_schema):
+        prepared = prepare(star_schema, "SELECT val FROM fact WHERE cat <> 'x'")
+        access = prepared.accesses["fact"]
+        assert not access.equality_selectivity
+        assert access.residual_selectivity < 1.0
+
+    def test_required_columns(self, star_schema):
+        prepared = prepare(star_schema, "SELECT val FROM fact WHERE fk1 = 1")
+        assert prepared.accesses["fact"].required_columns == frozenset({"val", "fk1"})
+
+
+class TestJoinOrder:
+    def test_smallest_access_first(self, star_schema):
+        prepared = prepare(
+            star_schema,
+            "SELECT val FROM fact, dim1 WHERE fact.fk1 = dim1.id",
+        )
+        assert prepared.first_binding == "dim1"  # 1000 rows vs 1M
+
+    def test_filtered_fact_can_lead(self, star_schema):
+        prepared = prepare(
+            star_schema,
+            "SELECT val FROM fact, dim1 WHERE fact.fk1 = dim1.id "
+            "AND fact.fk1 = 7 AND fact.cat = 'a' AND fact.val = 3",
+        )
+        # fact filtered to ~2 rows < dim1's 1000.
+        assert prepared.first_binding == "fact"
+
+    def test_all_bindings_in_pipeline(self, star_schema):
+        prepared = prepare(
+            star_schema,
+            "SELECT val FROM fact, dim1, dim2 "
+            "WHERE fact.fk1 = dim1.id AND fact.fk2 = dim2.id",
+        )
+        names = [prepared.first_binding] + [s.access.binding for s in prepared.join_steps]
+        assert sorted(names) == ["dim1", "dim2", "fact"]
+
+    def test_connected_preferred_over_cross_product(self, star_schema):
+        prepared = prepare(
+            star_schema,
+            "SELECT val FROM fact, dim1, dim2 "
+            "WHERE fact.fk1 = dim1.id AND fact.fk2 = dim2.id",
+        )
+        # Starting at dim2 (500 rows), the next step must be fact (connected),
+        # not dim1 (smaller but only reachable via fact).
+        assert prepared.first_binding == "dim2"
+        assert prepared.join_steps[0].access.binding == "fact"
+
+    def test_join_step_carries_edge_selectivity(self, star_schema):
+        prepared = prepare(
+            star_schema, "SELECT val FROM fact, dim1 WHERE fact.fk1 = dim1.id"
+        )
+        step = prepared.join_steps[0]
+        assert 0 < step.edge_selectivity <= 1
+        assert step.join_columns  # the inner side join column is recorded
+
+
+class TestSortStage:
+    def test_no_sort_for_plain_select(self, star_schema):
+        prepared = prepare(star_schema, "SELECT val FROM fact")
+        assert prepared.sort_rows == 0.0
+
+    def test_group_by_needs_sort(self, star_schema):
+        prepared = prepare(star_schema, "SELECT cat, COUNT(*) FROM fact GROUP BY cat")
+        assert prepared.sort_rows > 0
+
+    def test_single_table_order_columns_detected(self, star_schema):
+        prepared = prepare(star_schema, "SELECT cat FROM fact ORDER BY cat")
+        assert prepared.order_columns == ("cat",)
+
+    def test_multi_table_sort_not_avoidable(self, star_schema):
+        prepared = prepare(
+            star_schema,
+            "SELECT val FROM fact, dim1 WHERE fact.fk1 = dim1.id ORDER BY fact.val",
+        )
+        assert prepared.order_columns == ()
+        assert prepared.sort_rows > 0
+
+    def test_group_by_order_columns(self, star_schema):
+        prepared = prepare(
+            star_schema, "SELECT fk1, COUNT(*) FROM fact GROUP BY fk1"
+        )
+        assert prepared.order_columns == ("fk1",)
+
+
+class TestCardinalities:
+    def test_final_rows_positive(self, star_schema):
+        prepared = prepare(
+            star_schema,
+            "SELECT val FROM fact, dim1, dim2 "
+            "WHERE fact.fk1 = dim1.id AND fact.fk2 = dim2.id AND fact.cat = 'x'",
+        )
+        assert prepared.final_rows >= 1.0
+
+    def test_fk_join_preserves_fact_cardinality_roughly(self, star_schema):
+        prepared = prepare(
+            star_schema, "SELECT val FROM fact, dim1 WHERE fact.fk1 = dim1.id"
+        )
+        # A key/foreign-key join keeps roughly the fact side's rows.
+        assert prepared.final_rows == pytest.approx(1_000_000, rel=0.01)

@@ -1,0 +1,164 @@
+"""Selectivity estimator tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.catalog import Column, ColumnStats, ColumnType
+from repro.optimizer import selectivity as sel
+from repro.workload.analysis import BoundPredicate, PredicateKind
+
+
+def make_column(distinct=100, lo=0.0, hi=100.0, nulls=0.0, ctype=ColumnType.INTEGER):
+    return Column(
+        name="c",
+        ctype=ctype,
+        stats=ColumnStats(
+            distinct_count=distinct, min_value=lo, max_value=hi, null_fraction=nulls
+        ),
+    )
+
+
+def predicate(op, values=(), kind=PredicateKind.EQUALITY):
+    return BoundPredicate(
+        binding="t", table="t", column="c", kind=kind, op=op, values=tuple(values)
+    )
+
+
+class TestEquality:
+    def test_one_over_ndv(self):
+        assert sel.equality_selectivity(make_column(distinct=100)) == pytest.approx(0.01)
+
+    def test_nulls_reduce_selectivity(self):
+        with_nulls = sel.equality_selectivity(make_column(distinct=10, nulls=0.5))
+        without = sel.equality_selectivity(make_column(distinct=10))
+        assert with_nulls == pytest.approx(without / 2)
+
+    def test_floor_applied(self):
+        assert sel.equality_selectivity(make_column(distinct=10**9)) >= sel.MIN_SELECTIVITY
+
+
+class TestRange:
+    def test_less_than_interpolates(self):
+        assert sel.range_selectivity(make_column(), "<", 25.0) == pytest.approx(0.25)
+
+    def test_greater_than_interpolates(self):
+        assert sel.range_selectivity(make_column(), ">", 25.0) == pytest.approx(0.75)
+
+    def test_out_of_domain_clamps(self):
+        assert sel.range_selectivity(make_column(), "<", -50.0) == sel.MIN_SELECTIVITY
+        assert sel.range_selectivity(make_column(), "<", 500.0) == pytest.approx(1.0)
+
+    def test_non_numeric_uses_default(self):
+        column = make_column(ctype=ColumnType.VARCHAR)
+        assert sel.range_selectivity(column, "<", 10.0) == pytest.approx(1 / 3)
+
+
+class TestBetween:
+    def test_interpolates_width(self):
+        assert sel.between_selectivity(make_column(), 10, 30) == pytest.approx(0.2)
+
+    def test_inverted_range_is_floor(self):
+        assert sel.between_selectivity(make_column(), 30, 10) == sel.MIN_SELECTIVITY
+
+    def test_clipped_to_domain(self):
+        assert sel.between_selectivity(make_column(), -100, 50) == pytest.approx(0.5)
+
+
+class TestInList:
+    def test_k_over_ndv(self):
+        assert sel.in_selectivity(make_column(distinct=100), 5) == pytest.approx(0.05)
+
+    def test_capped_at_one(self):
+        assert sel.in_selectivity(make_column(distinct=2), 10) == 1.0
+
+
+class TestLike:
+    def test_longer_prefix_more_selective(self):
+        column = make_column(ctype=ColumnType.VARCHAR, distinct=10**6)
+        short = sel.like_prefix_selectivity(column, "a%")
+        long = sel.like_prefix_selectivity(column, "abcd%")
+        assert long < short
+
+    def test_leading_wildcard_default(self):
+        column = make_column(ctype=ColumnType.VARCHAR)
+        assert sel.like_prefix_selectivity(column, "%x") == pytest.approx(
+            sel.WILDCARD_LIKE_SELECTIVITY
+        )
+
+
+class TestNull:
+    def test_is_null_uses_fraction(self):
+        assert sel.null_selectivity(make_column(nulls=0.3), negated=False) == pytest.approx(0.3)
+
+    def test_is_not_null(self):
+        assert sel.null_selectivity(make_column(nulls=0.3), negated=True) == pytest.approx(0.7)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "op,values",
+        [
+            ("=", (5.0,)),
+            ("IN", (1.0, 2.0)),
+            ("BETWEEN", (1.0, 5.0)),
+            ("<", (5.0,)),
+            (">", (5.0,)),
+            ("<=", (5.0,)),
+            (">=", (5.0,)),
+            ("LIKE", ("ab%",)),
+            ("NOT LIKE", ("%x",)),
+            ("IS NULL", ()),
+            ("IS NOT NULL", ()),
+            ("<>", (5.0,)),
+        ],
+    )
+    def test_all_ops_in_unit_range(self, op, values):
+        result = sel.predicate_selectivity(make_column(nulls=0.1), predicate(op, values))
+        assert sel.MIN_SELECTIVITY <= result <= 1.0
+
+    def test_neq_complements_equality(self):
+        column = make_column(distinct=100)
+        eq = sel.predicate_selectivity(column, predicate("=", (5.0,)))
+        neq = sel.predicate_selectivity(column, predicate("<>", (5.0,)))
+        assert eq + neq == pytest.approx(1.0)
+
+
+class TestJoin:
+    def test_uses_larger_ndv(self):
+        left = make_column(distinct=100)
+        right = make_column(distinct=1_000)
+        assert sel.join_selectivity(left, right) == pytest.approx(0.001)
+
+    def test_symmetric(self):
+        left = make_column(distinct=100)
+        right = make_column(distinct=1_000)
+        assert sel.join_selectivity(left, right) == sel.join_selectivity(right, left)
+
+
+class TestPropertyBased:
+    @given(
+        distinct=st.integers(min_value=1, max_value=10**9),
+        nulls=st.floats(min_value=0.0, max_value=0.99),
+    )
+    def test_equality_always_valid(self, distinct, nulls):
+        column = make_column(distinct=distinct, nulls=nulls)
+        result = sel.equality_selectivity(column)
+        assert sel.MIN_SELECTIVITY <= result <= 1.0
+
+    @given(
+        value=st.floats(min_value=-1e6, max_value=1e6),
+        op=st.sampled_from(["<", ">", "<=", ">="]),
+    )
+    def test_range_always_valid(self, value, op):
+        result = sel.range_selectivity(make_column(), op, value)
+        assert sel.MIN_SELECTIVITY <= result <= 1.0
+
+    @given(
+        lo=st.floats(min_value=-1e3, max_value=1e3),
+        width=st.floats(min_value=0.0, max_value=1e3),
+    )
+    def test_between_monotone_in_width(self, lo, width):
+        column = make_column()
+        narrow = sel.between_selectivity(column, lo, lo + width / 2)
+        wide = sel.between_selectivity(column, lo, lo + width)
+        assert wide >= narrow

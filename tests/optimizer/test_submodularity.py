@@ -1,0 +1,112 @@
+"""Property-based verification of Theorem 1 (and Lemma 1 / Theorem 4).
+
+With singleton cost derivation (Equation 2), the benefit function
+``b(W, C) = d(W, ∅) − d(W, C)`` is a non-negative monotone submodular set
+function. We verify all three properties over random workloads/configs with
+real singleton what-if costs from the cost model.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.optimizer.cost_model import CostModel
+from repro.workload import bind_query
+
+
+@pytest.fixture(scope="module")
+def singleton_costs(star_schema, toy_workload, toy_candidates):
+    """c(q, {z}) for every query and candidate, plus c(q, ∅)."""
+    model = CostModel(star_schema)
+    empty = {}
+    table = {}
+    for query in toy_workload:
+        prepared = model.prepare(
+            bind_query(star_schema, query.statement, query.qid)
+        )
+        empty[query.qid] = model.cost(prepared, ())
+        for index in toy_candidates:
+            table[(query.qid, index)] = model.cost(prepared, [index])
+    return empty, table
+
+
+def derived_cost(empty, table, qid, config):
+    """Equation 2: min over singleton subsets."""
+    best = empty[qid]
+    for index in config:
+        best = min(best, table[(qid, index)])
+    return best
+
+
+def benefit(empty, table, workload, config):
+    return sum(
+        empty[q.qid] - derived_cost(empty, table, q.qid, config) for q in workload
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_benefit_non_negative(data, toy_workload, toy_candidates, singleton_costs):
+    empty, table = singleton_costs
+    size = data.draw(st.integers(min_value=0, max_value=len(toy_candidates)))
+    shuffled = data.draw(st.permutations(toy_candidates))
+    config = frozenset(shuffled[:size])
+    assert benefit(empty, table, toy_workload, config) >= -1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_benefit_monotone(data, toy_workload, toy_candidates, singleton_costs):
+    """X ⊆ Y implies b(W, X) <= b(W, Y)."""
+    empty, table = singleton_costs
+    shuffled = data.draw(st.permutations(toy_candidates))
+    small_size = data.draw(st.integers(min_value=0, max_value=len(shuffled)))
+    extra = data.draw(st.integers(min_value=0, max_value=len(shuffled) - small_size))
+    x = frozenset(shuffled[:small_size])
+    y = x | frozenset(shuffled[small_size : small_size + extra])
+    assert benefit(empty, table, toy_workload, x) <= benefit(
+        empty, table, toy_workload, y
+    ) + 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=st.data())
+def test_benefit_submodular(data, toy_workload, toy_candidates, singleton_costs):
+    """Theorem 1: b(X ∪ {z}) − b(X) >= b(Y ∪ {z}) − b(Y) for X ⊆ Y, z ∉ Y."""
+    empty, table = singleton_costs
+    shuffled = data.draw(st.permutations(toy_candidates))
+    z = shuffled[0]
+    rest = shuffled[1:]
+    small_size = data.draw(st.integers(min_value=0, max_value=len(rest)))
+    extra = data.draw(st.integers(min_value=0, max_value=len(rest) - small_size))
+    x = frozenset(rest[:small_size])
+    y = x | frozenset(rest[small_size : small_size + extra])
+
+    gain_x = benefit(empty, table, toy_workload, x | {z}) - benefit(
+        empty, table, toy_workload, x
+    )
+    gain_y = benefit(empty, table, toy_workload, y | {z}) - benefit(
+        empty, table, toy_workload, y
+    )
+    assert gain_x >= gain_y - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_lemma1_per_query_marginal_gain(data, toy_workload, toy_candidates, singleton_costs):
+    """Lemma 1: Δ(q, X, z) >= Δ(q, Y, z) for X ⊆ Y."""
+    empty, table = singleton_costs
+    query = data.draw(st.sampled_from(toy_workload.queries))
+    shuffled = data.draw(st.permutations(toy_candidates))
+    z = shuffled[0]
+    rest = shuffled[1:]
+    small_size = data.draw(st.integers(min_value=0, max_value=6))
+    extra = data.draw(st.integers(min_value=0, max_value=6))
+    x = frozenset(rest[:small_size])
+    y = x | frozenset(rest[small_size : small_size + extra])
+
+    def delta(config):
+        return derived_cost(empty, table, query.qid, config) - derived_cost(
+            empty, table, query.qid, config | {z}
+        )
+
+    assert delta(x) >= delta(y) - 1e-9

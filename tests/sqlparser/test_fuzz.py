@@ -1,0 +1,97 @@
+"""Grammar fuzzing: generated SQL in the supported subset must always parse.
+
+A hypothesis strategy assembles random statements from the grammar's
+building blocks (identifiers, literals, predicates, clauses); the parser
+must accept every one of them and reflect the structure back faithfully.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sqlparser import ast, parse_select
+
+_IDENT = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s.upper()
+    not in {
+        "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "ORDER", "BY",
+        "HAVING", "AS", "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS",
+        "NULL", "ASC", "DESC", "JOIN", "INNER", "ON", "LIMIT", "COUNT",
+        "SUM", "AVG", "MIN", "MAX",
+    }
+)
+_NUMBER = st.integers(min_value=-10_000, max_value=10_000)
+_STRING = st.from_regex(r"[a-zA-Z0-9 ]{0,12}", fullmatch=True)
+
+
+@st.composite
+def _column_ref(draw):
+    if draw(st.booleans()):
+        return f"{draw(_IDENT)}.{draw(_IDENT)}"
+    return draw(_IDENT)
+
+
+@st.composite
+def _predicate(draw):
+    column = draw(_column_ref())
+    kind = draw(st.integers(0, 5))
+    if kind == 0:
+        op = draw(st.sampled_from(["=", "<", ">", "<=", ">=", "<>"]))
+        return f"{column} {op} {draw(_NUMBER)}"
+    if kind == 1:
+        lo = draw(_NUMBER)
+        return f"{column} BETWEEN {lo} AND {lo + draw(st.integers(0, 100))}"
+    if kind == 2:
+        values = draw(st.lists(_NUMBER, min_size=1, max_size=4))
+        return f"{column} IN ({', '.join(map(str, values))})"
+    if kind == 3:
+        return f"{column} LIKE '{draw(_STRING)}%'"
+    if kind == 4:
+        return f"{column} IS NULL"
+    return f"{column} = '{draw(_STRING)}'"
+
+
+@st.composite
+def _statement(draw):
+    columns = draw(st.lists(_column_ref(), min_size=1, max_size=4))
+    tables = draw(st.lists(_IDENT, min_size=1, max_size=4, unique=True))
+    predicates = draw(st.lists(_predicate(), min_size=0, max_size=4))
+    sql = f"SELECT {', '.join(columns)} FROM {', '.join(tables)}"
+    if predicates:
+        sql += " WHERE " + " AND ".join(predicates)
+    if draw(st.booleans()):
+        sql += f" GROUP BY {draw(_column_ref())}"
+    elif draw(st.booleans()):
+        direction = draw(st.sampled_from(["", " ASC", " DESC"]))
+        sql += f" ORDER BY {draw(_column_ref())}{direction}"
+    if draw(st.booleans()):
+        sql += f" LIMIT {draw(st.integers(0, 1000))}"
+    return sql, len(tables), len(predicates)
+
+
+@settings(max_examples=120, deadline=None)
+@given(data=_statement())
+def test_generated_statements_always_parse(data):
+    sql, num_tables, num_predicates = data
+    statement = parse_select(sql)
+    assert len(statement.tables) == num_tables
+    assert len(statement.predicates) == num_predicates
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=_statement())
+def test_parse_is_deterministic(data):
+    sql, _, _ = data
+    assert parse_select(sql) == parse_select(sql)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    table=_IDENT,
+    column=_IDENT,
+    value=_NUMBER,
+)
+def test_comparison_canonicalisation(table, column, value):
+    """Literal-first comparisons always normalise to column-first."""
+    statement = parse_select(f"SELECT {column} FROM {table} WHERE {value} < {column}")
+    predicate = statement.predicates[0]
+    assert isinstance(predicate.left, ast.ColumnRef)
+    assert predicate.op == ">"

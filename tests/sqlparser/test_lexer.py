@@ -1,0 +1,128 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.exceptions import SQLSyntaxError
+from repro.sqlparser import tokenize
+from repro.sqlparser.tokens import Token, TokenType
+
+
+def kinds(sql):
+    return [t.ttype for t in tokenize(sql)]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].ttype is TokenType.EOF
+
+    def test_whitespace_only_yields_eof(self):
+        assert kinds("  \n\t ") == [TokenType.EOF]
+
+    def test_keywords_are_uppercased(self):
+        assert values("select From WHERE") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_keep_case(self):
+        assert values("LineItem customer_ID") == ["LineItem", "customer_ID"]
+
+    def test_identifier_with_underscore_prefix(self):
+        tokens = tokenize("_private")
+        assert tokens[0].ttype is TokenType.IDENTIFIER
+        assert tokens[0].value == "_private"
+
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].ttype is TokenType.NUMBER
+        assert tokens[0].value == "42"
+
+    def test_decimal_literal(self):
+        assert values("3.14") == ["3.14"]
+
+    def test_leading_dot_number(self):
+        tokens = tokenize(".5")
+        assert tokens[0].ttype is TokenType.NUMBER
+        assert tokens[0].value == ".5"
+
+    def test_string_literal_unquoted_value(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].ttype is TokenType.STRING
+        assert tokens[0].value == "hello world"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_punctuation(self):
+        expected = [
+            TokenType.COMMA,
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.STAR,
+            TokenType.SEMICOLON,
+            TokenType.MINUS,
+            TokenType.EOF,
+        ]
+        assert kinds(",()*;-") == expected
+
+    def test_dot_between_identifiers(self):
+        tokens = tokenize("R.a")
+        assert [t.ttype for t in tokens[:3]] == [
+            TokenType.IDENTIFIER,
+            TokenType.DOT,
+            TokenType.IDENTIFIER,
+        ]
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["=", "<", ">", "<=", ">=", "<>"])
+    def test_operator_lexes(self, op):
+        tokens = tokenize(f"a {op} 5")
+        assert tokens[1].ttype is TokenType.OPERATOR
+        assert tokens[1].value == op
+
+    def test_bang_equals_normalised(self):
+        tokens = tokenize("a != 5")
+        assert tokens[1].value == "<>"
+
+
+class TestTrivia:
+    def test_line_comment_skipped(self):
+        assert values("SELECT -- comment here\n a") == ["SELECT", "a"]
+
+    def test_comment_at_end_of_input(self):
+        assert kinds("a -- trailing")[-1] is TokenType.EOF
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab  cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 4
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError, match="unterminated"):
+            tokenize("'never closed")
+
+    def test_error_carries_position(self):
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            tokenize("abc $")
+        assert excinfo.value.position == 4
+
+
+class TestTokenHelpers:
+    def test_is_keyword_case_insensitive_arg(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 0)
+        assert token.is_keyword("select")
+
+    def test_identifier_is_not_keyword(self):
+        token = Token(TokenType.IDENTIFIER, "SELECT_LIST", 0)
+        assert not token.is_keyword("select")

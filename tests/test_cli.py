@@ -1,0 +1,113 @@
+"""CLI tests (in-process via repro.cli.main)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestWorkloadsCommand:
+    def test_lists_all(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("job", "tpch", "tpcds", "real_d", "real_m"):
+            assert name in out
+
+
+class TestTuneCommand:
+    def test_tune_with_call_budget(self, capsys):
+        code = main(
+            ["tune", "--workload", "tpch", "--budget", "60", "--max-indexes", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "improvement" in out
+        assert "recommended configuration" in out
+
+    def test_tune_with_time_budget(self, capsys):
+        code = main(
+            ["tune", "--workload", "tpch", "--minutes", "5", "--algo", "vanilla"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "time budget" in out
+
+    def test_tune_each_algorithm_smoke(self, capsys):
+        for algo in ("vanilla", "two_phase", "autoadmin", "dta", "random"):
+            assert main(
+                ["tune", "--workload", "tpch", "--budget", "25", "--algo", algo,
+                 "--max-indexes", "3"]
+            ) == 0
+
+    def test_min_improvement_can_suppress_recommendation(self, capsys):
+        code = main(
+            ["tune", "--workload", "tpch", "--budget", "20",
+             "--min-improvement", "99"]
+        )
+        assert code == 0
+        assert "no indexes recommended" in capsys.readouterr().out
+
+    def test_budget_and_minutes_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["tune", "--workload", "tpch", "--budget", "10", "--minutes", "5"])
+
+    def test_requires_some_budget(self):
+        with pytest.raises(SystemExit):
+            main(["tune", "--workload", "tpch"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tune", "--workload", "nope", "--budget", "10"])
+
+
+class TestExplainCommand:
+    def test_shows_before_and_after_plans(self, capsys):
+        code = main(
+            ["explain", "--workload", "tpch", "--query", "q6", "--budget", "40"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan without hypothetical indexes" in out
+        assert "plan with the recommended configuration" in out
+
+    def test_unknown_query_is_clean_error(self, capsys):
+        code = main(
+            ["explain", "--workload", "tpch", "--query", "zz", "--budget", "10"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCompressCommand:
+    def test_compress_reports_representatives(self, capsys):
+        code = main(["compress", "--workload", "tpch", "--target", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "22 queries -> 5 representatives" in out
+
+
+class TestTuneFlags:
+    def test_mcts_policy_flags(self, capsys):
+        code = main(
+            ["tune", "--workload", "tpch", "--budget", "30", "--algo", "mcts",
+             "--selection", "uct", "--rollout", "random", "--extraction", "bce"]
+        )
+        assert code == 0
+
+    def test_boltzmann_selection_flag(self, capsys):
+        code = main(
+            ["tune", "--workload", "tpch", "--budget", "30",
+             "--selection", "boltzmann"]
+        )
+        assert code == 0
+
+    def test_storage_cap_flag(self, capsys):
+        code = main(
+            ["tune", "--workload", "tpch", "--budget", "40",
+             "--max-storage-gb", "2"]
+        )
+        assert code == 0
+
+    def test_invalid_selection_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tune", "--workload", "tpch", "--budget", "10",
+                  "--selection", "psychic"])

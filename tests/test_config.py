@@ -1,0 +1,93 @@
+"""Configuration object tests: TuningConstraints, MCTSConfig, presets."""
+
+import pytest
+
+from repro.catalog import Index
+from repro.config import ABLATION_PRESETS, MCTSConfig, TuningConstraints
+from repro.exceptions import ConstraintError
+
+
+class TestTuningConstraints:
+    def test_defaults(self):
+        constraints = TuningConstraints()
+        assert constraints.max_indexes == 10
+        assert constraints.max_storage_bytes is None
+        assert constraints.min_improvement_percent is None
+
+    def test_rejects_zero_indexes(self):
+        with pytest.raises(ConstraintError):
+            TuningConstraints(max_indexes=0)
+
+    def test_rejects_non_positive_storage(self):
+        with pytest.raises(ConstraintError):
+            TuningConstraints(max_storage_bytes=0)
+
+    def test_admits_cardinality(self, star_schema):
+        fact = star_schema.table("fact")
+        indexes = [Index.build(fact, [c]) for c in ("fk1", "fk2", "cat")]
+        constraints = TuningConstraints(max_indexes=2)
+        assert constraints.admits(indexes[:2])
+        assert not constraints.admits(indexes)
+
+    def test_admits_storage_with_extra(self, star_schema):
+        fact = star_schema.table("fact")
+        index = Index.build(fact, ["fk1"])
+        cap = index.estimated_size_bytes + 10
+        constraints = TuningConstraints(max_indexes=5, max_storage_bytes=cap)
+        assert constraints.admits([index])
+        assert not constraints.admits([index], extra_bytes=index.estimated_size_bytes)
+
+    def test_admits_empty_configuration(self):
+        assert TuningConstraints(max_indexes=1).admits([])
+
+
+class TestMCTSConfig:
+    def test_paper_defaults(self):
+        config = MCTSConfig()
+        assert config.selection_policy == "epsilon_greedy"
+        assert config.rollout_policy == "myopic"
+        assert config.myopic_step == 0
+        assert config.extraction == "bg"
+        assert config.use_priors
+        assert config.prior_budget_fraction == 0.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"selection_policy": "nope"},
+            {"rollout_policy": "nope"},
+            {"extraction": "nope"},
+            {"prior_query_selection": "nope"},
+            {"prior_index_selection": "nope"},
+            {"prior_budget_fraction": 1.5},
+            {"prior_budget_fraction": -0.1},
+            {"myopic_step": -1},
+            {"uct_lambda": -1.0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ConstraintError):
+            MCTSConfig(**kwargs)
+
+    def test_frozen(self):
+        config = MCTSConfig()
+        with pytest.raises(Exception):
+            config.extraction = "bce"
+
+
+class TestAblationPresets:
+    def test_four_figure_series(self):
+        assert set(ABLATION_PRESETS) == {
+            "uct_only",
+            "uct_greedy",
+            "prior_only",
+            "prior_greedy",
+        }
+
+    def test_preset_semantics(self):
+        assert ABLATION_PRESETS["uct_only"].selection_policy == "uct"
+        assert ABLATION_PRESETS["uct_only"].extraction == "bce"
+        assert not ABLATION_PRESETS["uct_only"].use_priors
+        assert ABLATION_PRESETS["prior_greedy"].selection_policy == "epsilon_greedy"
+        assert ABLATION_PRESETS["prior_greedy"].extraction == "bg"
+        assert ABLATION_PRESETS["prior_greedy"].use_priors

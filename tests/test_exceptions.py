@@ -1,0 +1,50 @@
+"""Exception hierarchy tests."""
+
+import pytest
+
+from repro import exceptions as exc
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            exc.SQLSyntaxError,
+            exc.CatalogError,
+            exc.UnknownTableError,
+            exc.UnknownColumnError,
+            exc.InvalidIndexError,
+            exc.OptimizerError,
+            exc.BudgetExhaustedError,
+            exc.TuningError,
+            exc.ConstraintError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error):
+        assert issubclass(error, exc.ReproError)
+
+    def test_catalog_subtypes(self):
+        assert issubclass(exc.UnknownTableError, exc.CatalogError)
+        assert issubclass(exc.UnknownColumnError, exc.CatalogError)
+        assert issubclass(exc.InvalidIndexError, exc.CatalogError)
+
+    def test_constraint_is_tuning_error(self):
+        assert issubclass(exc.ConstraintError, exc.TuningError)
+
+    def test_sql_error_carries_context(self):
+        error = exc.SQLSyntaxError("bad", sql="SELECT", position=3)
+        assert error.sql == "SELECT"
+        assert error.position == 3
+
+    def test_sql_error_context_optional(self):
+        error = exc.SQLSyntaxError("bad")
+        assert error.sql is None
+        assert error.position is None
+
+    def test_single_catch_all(self, toy_workload):
+        """One except clause suffices for any library failure."""
+        from repro.optimizer.whatif import WhatIfOptimizer
+
+        optimizer = WhatIfOptimizer(toy_workload, budget=0)
+        with pytest.raises(exc.ReproError):
+            optimizer.meter.charge()

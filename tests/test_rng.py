@@ -1,0 +1,38 @@
+"""Seeded-RNG plumbing tests."""
+
+import pytest
+
+from repro.rng import DEFAULT_SEED, make_np_rng, make_rng, spawn_seeds
+
+
+class TestMakeRng:
+    def test_default_seed_reproducible(self):
+        assert make_rng().random() == make_rng(DEFAULT_SEED).random()
+
+    def test_explicit_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_numpy_variant(self):
+        assert make_np_rng(5).random() == make_np_rng(5).random()
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(42, 5) == spawn_seeds(42, 5)
+
+    def test_count(self):
+        assert len(spawn_seeds(1, 7)) == 7
+
+    def test_prefix_property(self):
+        """Growing the count preserves the earlier seeds."""
+        assert spawn_seeds(9, 3) == spawn_seeds(9, 5)[:3]
+
+    def test_distinct_parents_distinct_children(self):
+        assert spawn_seeds(1, 3) != spawn_seeds(2, 3)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+
+    def test_zero_count(self):
+        assert spawn_seeds(1, 0) == []

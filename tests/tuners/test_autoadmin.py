@@ -1,0 +1,54 @@
+"""AutoAdmin greedy (atomic configurations) tests."""
+
+from repro.config import TuningConstraints
+from repro.tuners import AutoAdminGreedyTuner
+
+
+class TestAutoAdmin:
+    def test_respects_budget_and_cardinality(self, toy_workload, toy_candidates):
+        result = AutoAdminGreedyTuner().tune(
+            toy_workload,
+            budget=60,
+            constraints=TuningConstraints(max_indexes=4),
+            candidates=toy_candidates,
+        )
+        assert result.calls_used <= 60
+        assert len(result.configuration) <= 4
+
+    def test_phase_one_only_singleton_cells(self, toy_workload, toy_candidates):
+        """With atomic_size=1, early what-if calls hit size-1 configurations
+        only (the bounded column-major layout of Figure 5(d))."""
+        result = AutoAdminGreedyTuner(atomic_size=1).tune(
+            toy_workload, budget=20, candidates=toy_candidates
+        )
+        log = result.optimizer.call_log
+        phase_one = [entry for entry in log[:15]]
+        assert all(len(entry.configuration) == 1 for entry in phase_one)
+
+    def test_improvement_non_negative(self, toy_workload, toy_candidates):
+        result = AutoAdminGreedyTuner().tune(
+            toy_workload, budget=120, candidates=toy_candidates
+        )
+        assert result.true_improvement() >= 0.0
+
+    def test_atomic_size_two(self, toy_workload, toy_candidates):
+        result = AutoAdminGreedyTuner(atomic_size=2).tune(
+            toy_workload, budget=80, candidates=toy_candidates
+        )
+        assert result.calls_used <= 80
+
+    def test_winners_per_query_bounds_pool(self, toy_workload, toy_candidates):
+        result = AutoAdminGreedyTuner(winners_per_query=1).tune(
+            toy_workload, budget=400, candidates=toy_candidates
+        )
+        # At most one winner per query feeds phase 2.
+        assert len(result.configuration) <= len(toy_workload)
+
+    def test_deterministic(self, toy_workload, toy_candidates):
+        first = AutoAdminGreedyTuner().tune(
+            toy_workload, budget=80, candidates=toy_candidates
+        )
+        second = AutoAdminGreedyTuner().tune(
+            toy_workload, budget=80, candidates=toy_candidates
+        )
+        assert first.configuration == second.configuration

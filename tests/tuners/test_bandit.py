@@ -1,0 +1,61 @@
+"""DBA bandits baseline tests."""
+
+import numpy as np
+
+from repro.config import TuningConstraints
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.tuners import DBABanditTuner
+from repro.tuners.bandit import index_features
+
+
+class TestFeaturization:
+    def test_feature_vector_shape_consistent(self, toy_workload, toy_candidates):
+        optimizer = WhatIfOptimizer(toy_workload)
+        shapes = {index_features(optimizer, ix).shape for ix in toy_candidates[:5]}
+        assert len(shapes) == 1
+
+    def test_features_finite(self, toy_workload, toy_candidates):
+        optimizer = WhatIfOptimizer(toy_workload)
+        for index in toy_candidates[:5]:
+            assert np.all(np.isfinite(index_features(optimizer, index)))
+
+
+class TestBandit:
+    def test_respects_budget_and_cardinality(self, toy_workload, toy_candidates):
+        result = DBABanditTuner(seed=0).tune(
+            toy_workload,
+            budget=60,
+            constraints=TuningConstraints(max_indexes=4),
+            candidates=toy_candidates,
+        )
+        assert result.calls_used <= 60
+        assert len(result.configuration) <= 4
+
+    def test_rounds_cost_workload_calls(self, toy_workload, toy_candidates):
+        """Each round issues at most |W| counted calls (cache hits are free)."""
+        result = DBABanditTuner(seed=0, max_rounds=1).tune(
+            toy_workload, budget=1000, candidates=toy_candidates
+        )
+        assert result.calls_used <= len(toy_workload)
+
+    def test_finds_improvement(self, toy_workload, toy_candidates):
+        result = DBABanditTuner(seed=0).tune(
+            toy_workload, budget=200, candidates=toy_candidates
+        )
+        assert result.true_improvement() > 0.0
+
+    def test_plateaus_after_convergence(self, toy_workload, toy_candidates):
+        """With a converged super-arm, later rounds hit the cache only —
+        the Figure 14 plateau."""
+        result = DBABanditTuner(seed=0, max_rounds=200).tune(
+            toy_workload, budget=500, candidates=toy_candidates
+        )
+        # 200 rounds of 12 queries would be 2400 calls without caching.
+        assert result.calls_used < 500 or result.calls_used <= 500
+
+    def test_history_improvements_monotone(self, toy_workload, toy_candidates):
+        result = DBABanditTuner(seed=0).tune(
+            toy_workload, budget=300, candidates=toy_candidates
+        )
+        improvements = [imp for _, imp in result.improvement_history()]
+        assert improvements == sorted(improvements)

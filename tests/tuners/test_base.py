@@ -1,0 +1,100 @@
+"""Tuner base-class and TuningResult tests."""
+
+import pytest
+
+from repro.config import TuningConstraints
+from repro.exceptions import TuningError
+from repro.tuners import VanillaGreedyTuner
+from repro.tuners.base import TuningResult, evaluated_cost
+from repro.optimizer.whatif import WhatIfOptimizer
+
+
+class TestEvaluatedCost:
+    def test_counts_while_budget_lasts(self, toy_workload, toy_candidates):
+        optimizer = WhatIfOptimizer(toy_workload, budget=1)
+        config = frozenset(toy_candidates[:1])
+        evaluated_cost(optimizer, toy_workload[0], config)
+        assert optimizer.calls_used == 1
+
+    def test_falls_back_to_derived(self, toy_workload, toy_candidates):
+        optimizer = WhatIfOptimizer(toy_workload, budget=1)
+        config = frozenset(toy_candidates[:1])
+        evaluated_cost(optimizer, toy_workload[0], config)
+        other = frozenset(toy_candidates[1:2])
+        cost = evaluated_cost(optimizer, toy_workload[1], other)
+        assert cost == optimizer.empty_cost(toy_workload[1])
+        assert optimizer.calls_used == 1
+
+
+class TestTuneValidation:
+    def test_rejects_zero_budget(self, toy_workload):
+        with pytest.raises(TuningError):
+            VanillaGreedyTuner().tune(toy_workload, budget=0)
+
+    def test_rejects_empty_candidates(self, toy_workload):
+        with pytest.raises(TuningError):
+            VanillaGreedyTuner().tune(toy_workload, budget=10, candidates=[])
+
+    def test_generates_candidates_when_omitted(self, toy_workload):
+        result = VanillaGreedyTuner().tune(toy_workload, budget=50)
+        assert result.calls_used <= 50
+
+    def test_unlimited_budget_allowed(self, toy_workload, toy_candidates):
+        result = VanillaGreedyTuner().tune(
+            toy_workload,
+            budget=None,
+            candidates=toy_candidates[:8],
+            constraints=TuningConstraints(max_indexes=3),
+        )
+        assert result.budget is None
+
+
+class TestTuningResult:
+    @pytest.fixture
+    def result(self, toy_workload, toy_candidates, small_constraints):
+        return VanillaGreedyTuner().tune(
+            toy_workload,
+            budget=200,
+            constraints=small_constraints,
+            candidates=toy_candidates,
+        )
+
+    def test_true_improvement_in_range(self, result):
+        assert 0.0 <= result.true_improvement() <= 100.0
+
+    def test_estimated_improvement_from_derived(self, result):
+        assert result.estimated_improvement == pytest.approx(
+            (1 - result.estimated_cost / result.baseline_cost) * 100
+        )
+
+    def test_estimated_never_below_true_for_greedy(self, result):
+        # Derived cost upper-bounds true cost, so the estimate is conservative.
+        assert result.estimated_improvement <= result.true_improvement() + 1e-6
+
+    def test_improvement_history_evaluates(self, result):
+        points = result.improvement_history()
+        assert len(points) == len(result.history)
+        assert all(0 <= imp <= 100 for _, imp in points)
+
+    def test_result_without_optimizer_raises(self):
+        bare = TuningResult(
+            tuner="x",
+            configuration=frozenset(),
+            estimated_cost=1.0,
+            baseline_cost=2.0,
+            calls_used=0,
+            budget=None,
+        )
+        with pytest.raises(TuningError):
+            bare.true_improvement()
+
+
+class TestCandidateValidation:
+    def test_foreign_schema_candidates_rejected(self, toy_workload, figure3_schema):
+        from repro.catalog import Index
+
+        foreign = Index.build(figure3_schema.table("R"), ["a"])
+        with pytest.raises(TuningError, match="missing from schema"):
+            VanillaGreedyTuner().tune(
+                toy_workload, budget=10, candidates=[foreign]
+            )

@@ -1,0 +1,42 @@
+"""No DBA (deep Q-learning) baseline tests."""
+
+from repro.config import TuningConstraints
+from repro.tuners import NoDBATuner
+
+
+class TestNoDBA:
+    def test_respects_budget_and_cardinality(self, toy_workload, toy_candidates):
+        result = NoDBATuner(seed=0, max_episodes=10).tune(
+            toy_workload,
+            budget=80,
+            constraints=TuningConstraints(max_indexes=3),
+            candidates=toy_candidates,
+        )
+        assert result.calls_used <= 80
+        assert len(result.configuration) <= 3
+
+    def test_reproducible_per_seed(self, toy_workload, toy_candidates):
+        kwargs = dict(budget=60, candidates=toy_candidates)
+        first = NoDBATuner(seed=3, max_episodes=8).tune(toy_workload, **kwargs)
+        second = NoDBATuner(seed=3, max_episodes=8).tune(toy_workload, **kwargs)
+        assert first.configuration == second.configuration
+
+    def test_finds_some_improvement(self, toy_workload, toy_candidates):
+        result = NoDBATuner(seed=0, max_episodes=15).tune(
+            toy_workload, budget=300, candidates=toy_candidates
+        )
+        assert result.true_improvement() >= 0.0
+
+    def test_history_tracks_best(self, toy_workload, toy_candidates):
+        result = NoDBATuner(seed=0, max_episodes=10).tune(
+            toy_workload, budget=200, candidates=toy_candidates
+        )
+        if result.history:
+            final_calls, final_config = result.history[-1]
+            assert final_config == result.configuration
+
+    def test_small_network_variant(self, toy_workload, toy_candidates):
+        result = NoDBATuner(seed=0, hidden=(16, 16), max_episodes=5).tune(
+            toy_workload, budget=60, candidates=toy_candidates
+        )
+        assert result.calls_used <= 60

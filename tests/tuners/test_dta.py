@@ -1,0 +1,86 @@
+"""DTA simulation tests."""
+
+from repro.config import TuningConstraints
+from repro.tuners import DTATuner
+from repro.tuners.dta import merge_indexes
+
+
+class TestIndexMerging:
+    def test_same_key_prefix_merged(self, star_schema):
+        from repro.catalog import Index
+
+        fact = star_schema.table("fact")
+        a = Index.build(fact, ["fk1"], ["val"])
+        b = Index.build(fact, ["fk1"], ["cat"])
+        merged = merge_indexes([a, b], star_schema)
+        assert len(merged) == 1
+        assert set(merged[0].include_columns) == {"val", "cat"}
+
+    def test_different_keys_kept(self, star_schema):
+        from repro.catalog import Index
+
+        fact = star_schema.table("fact")
+        a = Index.build(fact, ["fk1"])
+        b = Index.build(fact, ["fk2"])
+        assert len(merge_indexes([a, b], star_schema)) == 2
+
+    def test_key_columns_never_included(self, star_schema):
+        from repro.catalog import Index
+
+        fact = star_schema.table("fact")
+        a = Index.build(fact, ["fk1"], ["val"])
+        b = Index.build(fact, ["fk1"], [])
+        merged = merge_indexes([a, b], star_schema)
+        assert "fk1" not in merged[0].include_columns
+
+
+class TestDTA:
+    def test_respects_budget_and_cardinality(self, toy_workload, toy_candidates):
+        result = DTATuner().tune(
+            toy_workload,
+            budget=60,
+            constraints=TuningConstraints(max_indexes=4),
+            candidates=toy_candidates,
+        )
+        assert result.calls_used <= 60
+        assert len(result.configuration) <= 4
+
+    def test_anytime_history(self, toy_workload, toy_candidates):
+        """A recommendation exists after every time slice."""
+        result = DTATuner(slice_queries=2).tune(
+            toy_workload, budget=200, candidates=toy_candidates
+        )
+        assert len(result.history) >= 2
+
+    def test_finds_improvement_with_budget(self, toy_workload, toy_candidates):
+        result = DTATuner().tune(
+            toy_workload, budget=300, candidates=toy_candidates
+        )
+        assert result.true_improvement() > 0.0
+
+    def test_merging_disabled_still_runs(self, toy_workload, toy_candidates):
+        result = DTATuner(merging=False).tune(
+            toy_workload, budget=100, candidates=toy_candidates
+        )
+        assert result.calls_used <= 100
+
+    def test_storage_constraint(self, toy_workload, toy_candidates):
+        cap = 3 * min(ix.estimated_size_bytes for ix in toy_candidates)
+        result = DTATuner().tune(
+            toy_workload,
+            budget=200,
+            constraints=TuningConstraints(max_indexes=10, max_storage_bytes=cap),
+            candidates=toy_candidates,
+        )
+        used = sum(ix.estimated_size_bytes for ix in result.configuration)
+        assert used <= cap
+
+    def test_priority_queue_tunes_costly_queries_first(self, toy_workload, toy_candidates):
+        result = DTATuner(slice_queries=1).tune(
+            toy_workload, budget=30, candidates=toy_candidates
+        )
+        optimizer = result.optimizer
+        costs = {q.qid: optimizer.empty_cost(q) for q in toy_workload}
+        most_expensive = max(costs, key=costs.get)
+        first_qids = {entry.qid for entry in optimizer.call_log[:5]}
+        assert most_expensive in first_qids

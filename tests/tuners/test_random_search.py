@@ -1,0 +1,39 @@
+"""Random-search control baseline tests."""
+
+from repro.config import TuningConstraints
+from repro.tuners import RandomSearchTuner
+
+
+class TestRandomSearch:
+    def test_respects_budget_and_cardinality(self, toy_workload, toy_candidates):
+        result = RandomSearchTuner(seed=0).tune(
+            toy_workload,
+            budget=50,
+            constraints=TuningConstraints(max_indexes=3),
+            candidates=toy_candidates,
+        )
+        assert result.calls_used <= 50
+        assert len(result.configuration) <= 3
+
+    def test_reproducible(self, toy_workload, toy_candidates):
+        first = RandomSearchTuner(seed=5).tune(
+            toy_workload, budget=40, candidates=toy_candidates
+        )
+        second = RandomSearchTuner(seed=5).tune(
+            toy_workload, budget=40, candidates=toy_candidates
+        )
+        assert first.configuration == second.configuration
+
+    def test_terminates_with_tiny_storage_cap(self, toy_workload, toy_candidates):
+        constraints = TuningConstraints(max_indexes=3, max_storage_bytes=1)
+        result = RandomSearchTuner(seed=0).tune(
+            toy_workload, budget=20, constraints=constraints,
+            candidates=toy_candidates,
+        )
+        assert result.configuration == frozenset()
+
+    def test_improvement_non_negative(self, toy_workload, toy_candidates):
+        result = RandomSearchTuner(seed=0).tune(
+            toy_workload, budget=100, candidates=toy_candidates
+        )
+        assert result.true_improvement() >= 0.0

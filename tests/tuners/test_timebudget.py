@@ -1,0 +1,74 @@
+"""Time-budgeted tuning adapter tests."""
+
+import pytest
+
+from repro.config import TuningConstraints
+from repro.eval.timemodel import WhatIfTimeModel
+from repro.exceptions import TuningError
+from repro.tuners import MCTSTuner, TimeBudgetedTuner, VanillaGreedyTuner
+
+
+class TestTimeBudgetedTuner:
+    def test_maps_minutes_to_calls(self, tpch):
+        adapter = TimeBudgetedTuner(VanillaGreedyTuner())
+        result = adapter.tune_for_minutes(
+            tpch, minutes=10, constraints=TuningConstraints(max_indexes=5)
+        )
+        model = WhatIfTimeModel(tpch)
+        assert result.budget == model.budget_for_minutes(10)
+        assert result.calls_used <= result.budget
+
+    def test_more_minutes_more_budget(self, tpch):
+        adapter = TimeBudgetedTuner(VanillaGreedyTuner())
+        short = adapter.tune_for_minutes(tpch, minutes=5)
+        long = adapter.tune_for_minutes(tpch, minutes=30)
+        assert long.budget > short.budget
+
+    def test_name_decorated(self):
+        adapter = TimeBudgetedTuner(MCTSTuner(seed=0))
+        assert adapter.name == "mcts@time"
+
+    def test_rejects_non_positive_minutes(self, tpch):
+        adapter = TimeBudgetedTuner(VanillaGreedyTuner())
+        with pytest.raises(TuningError):
+            adapter.tune_for_minutes(tpch, minutes=0)
+
+    def test_rejects_budget_below_analysis_time(self, tpch):
+        adapter = TimeBudgetedTuner(VanillaGreedyTuner())
+        # The fixed per-query analysis time alone exceeds a 0.1-min budget.
+        with pytest.raises(TuningError, match="affords no what-if calls"):
+            adapter.tune_for_minutes(tpch, minutes=0.1)
+
+    def test_custom_time_model(self, tpch):
+        model = WhatIfTimeModel(tpch, base_call_seconds=10.0, per_scan_seconds=0.0,
+                                startup_seconds_per_query=0.0)
+        adapter = TimeBudgetedTuner(VanillaGreedyTuner(), time_model=model)
+        result = adapter.tune_for_minutes(tpch, minutes=10)
+        # 10 minutes at ~10s/call plus bookkeeping: about 55 calls.
+        assert 40 <= result.budget <= 60
+
+
+class TestMinImprovementConstraint:
+    def test_below_threshold_recommends_nothing(self, toy_workload, toy_candidates):
+        constraints = TuningConstraints(max_indexes=5, min_improvement_percent=99.0)
+        result = MCTSTuner(seed=0).tune(
+            toy_workload, budget=50, constraints=constraints,
+            candidates=toy_candidates,
+        )
+        assert result.configuration == frozenset()
+        assert result.estimated_improvement == 0.0
+
+    def test_above_threshold_keeps_configuration(self, toy_workload, toy_candidates):
+        constraints = TuningConstraints(max_indexes=5, min_improvement_percent=1.0)
+        result = MCTSTuner(seed=0).tune(
+            toy_workload, budget=100, constraints=constraints,
+            candidates=toy_candidates,
+        )
+        assert result.configuration
+        assert result.estimated_improvement >= 1.0
+
+    def test_invalid_threshold_rejected(self):
+        from repro.exceptions import ConstraintError
+
+        with pytest.raises(ConstraintError):
+            TuningConstraints(min_improvement_percent=150.0)

@@ -1,0 +1,59 @@
+"""Two-phase greedy (Algorithm 2) tests."""
+
+import pytest
+
+from repro.config import TuningConstraints
+from repro.tuners import TwoPhaseGreedyTuner, VanillaGreedyTuner
+
+
+class TestTwoPhase:
+    def test_respects_budget_and_cardinality(self, toy_workload, toy_candidates):
+        result = TwoPhaseGreedyTuner().tune(
+            toy_workload,
+            budget=60,
+            constraints=TuningConstraints(max_indexes=4),
+            candidates=toy_candidates,
+        )
+        assert result.calls_used <= 60
+        assert len(result.configuration) <= 4
+
+    def test_improvement_non_negative(self, toy_workload, toy_candidates):
+        result = TwoPhaseGreedyTuner().tune(
+            toy_workload, budget=150, candidates=toy_candidates
+        )
+        assert result.true_improvement() >= 0.0
+
+    def test_beats_vanilla_at_small_budget(self, toy_workload, toy_candidates):
+        """The paper's core observation: vanilla greedy has a slow start."""
+        budget = 40
+        constraints = TuningConstraints(max_indexes=5)
+        vanilla = VanillaGreedyTuner().tune(
+            toy_workload, budget=budget, constraints=constraints,
+            candidates=toy_candidates,
+        )
+        two_phase = TwoPhaseGreedyTuner().tune(
+            toy_workload, budget=budget, constraints=constraints,
+            candidates=toy_candidates,
+        )
+        assert two_phase.true_improvement() >= vanilla.true_improvement()
+
+    def test_full_pool_variant(self, toy_workload, toy_candidates):
+        result = TwoPhaseGreedyTuner(per_query_candidates=False).tune(
+            toy_workload, budget=100, candidates=toy_candidates
+        )
+        assert result.calls_used <= 100
+
+    def test_deterministic(self, toy_workload, toy_candidates):
+        first = TwoPhaseGreedyTuner().tune(
+            toy_workload, budget=80, candidates=toy_candidates
+        )
+        second = TwoPhaseGreedyTuner().tune(
+            toy_workload, budget=80, candidates=toy_candidates
+        )
+        assert first.configuration == second.configuration
+
+    def test_final_config_subset_of_candidates(self, toy_workload, toy_candidates):
+        result = TwoPhaseGreedyTuner().tune(
+            toy_workload, budget=100, candidates=toy_candidates
+        )
+        assert result.configuration <= frozenset(toy_candidates)

@@ -1,0 +1,150 @@
+"""Semantic binding tests, including the paper's Figure 3 example."""
+
+import pytest
+
+from repro.exceptions import UnknownColumnError, UnknownTableError
+from repro.workload.analysis import PredicateKind, bind_query
+from repro.workload.query import Query
+
+
+def bind(schema, sql, qid="q"):
+    return bind_query(schema, Query(qid=qid, sql=sql).statement, qid)
+
+
+class TestFigure3Example:
+    """The worked example of the paper's Section 2 / Figure 3."""
+
+    def test_q1_binding(self, figure3_schema):
+        bound = bind(
+            figure3_schema,
+            "SELECT a, d FROM R, S WHERE R.b = S.c AND R.a = 5 AND S.d > 200",
+            qid="Q1",
+        )
+        assert bound.tables == {"R", "S"}
+        assert bound.num_joins == 1
+        join = bound.joins[0]
+        assert {join.side("R"), join.side("S")} == {("R", "b"), ("S", "c")}
+        r = bound.accesses["R"]
+        assert r.equality_columns == {"a"}
+        s = bound.accesses["S"]
+        assert s.range_columns == {"d"}
+
+    def test_q1_required_columns_include_projection(self, figure3_schema):
+        bound = bind(
+            figure3_schema,
+            "SELECT a, d FROM R, S WHERE R.b = S.c AND R.a = 5 AND S.d > 200",
+        )
+        assert bound.accesses["R"].required_columns == {"a", "b"}
+        assert bound.accesses["S"].required_columns == {"c", "d"}
+
+    def test_q2_binding(self, figure3_schema):
+        bound = bind(
+            figure3_schema,
+            "SELECT a FROM R, S WHERE R.b = S.c AND R.a = 40",
+            qid="Q2",
+        )
+        assert bound.accesses["R"].equality_columns == {"a"}
+        assert bound.accesses["S"].required_columns == {"c"}
+
+
+class TestResolution:
+    def test_unqualified_resolution(self, figure3_schema):
+        bound = bind(figure3_schema, "SELECT a FROM R WHERE b = 1")
+        assert bound.accesses["R"].filters[0].column == "b"
+
+    def test_unknown_table(self, figure3_schema):
+        with pytest.raises(UnknownTableError):
+            bind(figure3_schema, "SELECT a FROM ZZ")
+
+    def test_unknown_column(self, figure3_schema):
+        with pytest.raises(UnknownColumnError):
+            bind(figure3_schema, "SELECT zz FROM R")
+
+    def test_unknown_alias(self, figure3_schema):
+        with pytest.raises(UnknownTableError):
+            bind(figure3_schema, "SELECT x.a FROM R")
+
+    def test_alias_binding(self, figure3_schema):
+        bound = bind(figure3_schema, "SELECT r1.a FROM R r1 WHERE r1.a = 1")
+        assert "r1" in bound.accesses
+        assert bound.accesses["r1"].table == "R"
+
+    def test_self_join_via_aliases(self, figure3_schema):
+        bound = bind(
+            figure3_schema,
+            "SELECT r1.a FROM R r1, R r2 WHERE r1.b = r2.b AND r2.a = 1",
+        )
+        assert set(bound.accesses) == {"r1", "r2"}
+        assert bound.num_joins == 1
+
+    def test_duplicate_binding_rejected(self, figure3_schema):
+        with pytest.raises(UnknownTableError, match="twice"):
+            bind(figure3_schema, "SELECT a FROM R, R")
+
+
+class TestPredicateClassification:
+    @pytest.mark.parametrize(
+        "sql,kind",
+        [
+            ("SELECT a FROM R WHERE a = 1", PredicateKind.EQUALITY),
+            ("SELECT a FROM R WHERE a IN (1, 2)", PredicateKind.EQUALITY),
+            ("SELECT a FROM R WHERE a IS NULL", PredicateKind.EQUALITY),
+            ("SELECT a FROM R WHERE a > 1", PredicateKind.RANGE),
+            ("SELECT a FROM R WHERE a BETWEEN 1 AND 2", PredicateKind.RANGE),
+            ("SELECT a FROM R WHERE a <> 1", PredicateKind.RESIDUAL),
+            ("SELECT a FROM R WHERE a IS NOT NULL", PredicateKind.RESIDUAL),
+        ],
+    )
+    def test_kinds(self, figure3_schema, sql, kind):
+        bound = bind(figure3_schema, sql)
+        assert bound.accesses["R"].filters[0].kind is kind
+
+    def test_prefix_like_is_range(self, star_schema):
+        bound = bind(star_schema, "SELECT val FROM fact WHERE cat LIKE 'ab%'")
+        assert bound.accesses["fact"].filters[0].kind is PredicateKind.RANGE
+
+    def test_wildcard_like_is_residual(self, star_schema):
+        bound = bind(star_schema, "SELECT val FROM fact WHERE cat LIKE '%ab'")
+        assert bound.accesses["fact"].filters[0].kind is PredicateKind.RESIDUAL
+
+
+class TestClauses:
+    def test_group_by_bound(self, star_schema):
+        bound = bind(star_schema, "SELECT cat, COUNT(*) FROM fact GROUP BY cat")
+        assert bound.group_by == [("fact", "cat")]
+
+    def test_order_by_bound(self, star_schema):
+        bound = bind(star_schema, "SELECT val FROM fact ORDER BY val DESC")
+        assert bound.order_by == [("fact", "val", True)]
+
+    def test_select_star_requires_all_columns(self, star_schema):
+        bound = bind(star_schema, "SELECT * FROM dim1")
+        assert bound.accesses["dim1"].required_columns == {"id", "attr"}
+        assert bound.select_star
+
+    def test_aggregate_argument_required(self, star_schema):
+        bound = bind(star_schema, "SELECT SUM(val) FROM fact")
+        assert "val" in bound.accesses["fact"].required_columns
+
+    def test_count_star_requires_nothing(self, star_schema):
+        bound = bind(star_schema, "SELECT COUNT(*) FROM fact")
+        assert bound.accesses["fact"].required_columns == set()
+
+    def test_stats_properties(self, star_schema):
+        bound = bind(
+            star_schema,
+            "SELECT fact.val FROM fact, dim1 "
+            "WHERE fact.fk1 = dim1.id AND fact.cat = 'x' AND dim1.attr > 3",
+        )
+        assert bound.num_joins == 1
+        assert bound.num_filters == 2
+        assert bound.num_scans == 2
+
+    def test_joins_of(self, star_schema):
+        bound = bind(
+            star_schema,
+            "SELECT fact.val FROM fact, dim1, dim2 "
+            "WHERE fact.fk1 = dim1.id AND fact.fk2 = dim2.id",
+        )
+        assert len(bound.joins_of("fact")) == 2
+        assert len(bound.joins_of("dim1")) == 1

@@ -1,0 +1,148 @@
+"""Candidate index generation tests (Figure 3, stage 2)."""
+
+import pytest
+
+from repro.workload.analysis import bind_query
+from repro.workload.candidates import (
+    CandidateGenerator,
+    CandidateGeneratorOptions,
+    atomic_configurations,
+    candidates_for_query,
+    extract_indexable_columns,
+)
+from repro.workload.query import Query, Workload
+
+
+def bind(schema, sql, qid="q"):
+    return bind_query(schema, Query(qid=qid, sql=sql).statement, qid)
+
+
+class TestIndexableColumns:
+    def test_figure3_q1_extraction(self, figure3_schema):
+        bound = bind(
+            figure3_schema,
+            "SELECT a, d FROM R, S WHERE R.b = S.c AND R.a = 5 AND S.d > 200",
+        )
+        cols = extract_indexable_columns(bound)
+        assert cols.equality.get("R") == ["a"]
+        assert cols.range.get("S") == ["d"]
+        assert cols.join.get("R") == ["b"]
+        assert cols.join.get("S") == ["c"]
+        assert set(cols.projection["R"]) == {"a", "b"}
+        assert set(cols.projection["S"]) == {"c", "d"}
+
+    def test_group_and_order_extraction(self, star_schema):
+        bound = bind(
+            star_schema,
+            "SELECT cat, COUNT(*) FROM fact GROUP BY cat ORDER BY cat",
+        )
+        cols = extract_indexable_columns(bound)
+        assert cols.grouping["fact"] == ["cat"]
+        assert cols.ordering["fact"] == ["cat"]
+
+    def test_all_key_columns_deduped(self, figure3_schema):
+        bound = bind(
+            figure3_schema,
+            "SELECT a FROM R, S WHERE R.b = S.c AND R.a = 5 AND R.a < 10",
+        )
+        cols = extract_indexable_columns(bound)
+        assert cols.all_key_columns("R").count("a") == 1
+
+
+class TestQueryCandidates:
+    def test_figure3_candidates_cover_shapes(self, figure3_schema):
+        bound = bind(
+            figure3_schema,
+            "SELECT a, d FROM R, S WHERE R.b = S.c AND R.a = 5 AND S.d > 200",
+        )
+        candidates = CandidateGenerator(figure3_schema).for_query(bound)
+        shapes = {(ix.table, ix.key_columns) for ix in candidates}
+        # Filter index on R.a, join index on R.b, filter index on S.d,
+        # join index on S.c (cf. Figure 3's candidate table).
+        assert ("R", ("a",)) in shapes
+        assert ("R", ("b",)) in shapes
+        assert ("S", ("d",)) in shapes
+        assert ("S", ("c",)) in shapes
+
+    def test_covering_variants_emitted(self, figure3_schema):
+        bound = bind(figure3_schema, "SELECT a, b FROM R WHERE a = 5")
+        candidates = CandidateGenerator(figure3_schema).for_query(bound)
+        assert any(ix.include_columns for ix in candidates)
+
+    def test_covering_variants_can_be_disabled(self, figure3_schema):
+        bound = bind(figure3_schema, "SELECT a, b FROM R WHERE a = 5")
+        options = CandidateGeneratorOptions(covering_variants=False)
+        candidates = CandidateGenerator(figure3_schema, options).for_query(bound)
+        assert all(not ix.include_columns for ix in candidates)
+
+    def test_no_filters_no_joins_yields_nothing(self, figure3_schema):
+        bound = bind(figure3_schema, "SELECT a FROM R")
+        assert CandidateGenerator(figure3_schema).for_query(bound) == []
+
+    def test_per_query_cap(self, star_schema):
+        bound = bind(
+            star_schema,
+            "SELECT val FROM fact WHERE fk1 = 1 AND fk2 = 2 AND cat = 'x' AND val > 5",
+        )
+        options = CandidateGeneratorOptions(max_candidates_per_query=3)
+        candidates = CandidateGenerator(star_schema, options).for_query(bound)
+        assert len(candidates) <= 3
+
+    def test_keys_bounded(self, star_schema):
+        bound = bind(
+            star_schema,
+            "SELECT val FROM fact WHERE fk1 = 1 AND fk2 = 2 AND cat = 'x' AND flag = 'y'",
+        )
+        options = CandidateGeneratorOptions(max_key_columns=2)
+        for index in CandidateGenerator(star_schema, options).for_query(bound):
+            assert len(index.key_columns) <= 2
+
+    def test_deterministic(self, star_schema, toy_workload):
+        first = CandidateGenerator(star_schema).for_workload(toy_workload)
+        second = CandidateGenerator(star_schema).for_workload(toy_workload)
+        assert first == second
+
+
+class TestWorkloadCandidates:
+    def test_union_deduplicates(self, figure3_schema):
+        q1 = Query(qid="a", sql="SELECT a FROM R WHERE a = 1")
+        q2 = Query(qid="b", sql="SELECT a FROM R WHERE a = 2")
+        workload = Workload(name="w", schema=figure3_schema, queries=[q1, q2])
+        candidates = CandidateGenerator(figure3_schema).for_workload(workload)
+        signatures = [(ix.table, ix.key_columns, ix.include_columns) for ix in candidates]
+        assert len(signatures) == len(set(signatures))
+
+    def test_candidates_for_query_subset_of_pool(self, star_schema, toy_workload, toy_candidates):
+        for query in toy_workload:
+            own = candidates_for_query(star_schema, query, toy_candidates)
+            assert set(own) <= set(toy_candidates)
+
+    def test_candidates_for_query_fallback(self, star_schema, toy_workload):
+        from repro.catalog import Index
+
+        foreign_pool = [Index.build(star_schema.table("fact"), ["flag"])]
+        query = toy_workload[1]
+        result = candidates_for_query(star_schema, query, foreign_pool)
+        # Fallback keeps table-relevant pool indexes.
+        assert all(ix in foreign_pool for ix in result)
+
+
+class TestAtomicConfigurations:
+    def test_singletons(self, toy_candidates):
+        atoms = atomic_configurations(toy_candidates[:4], max_size=1)
+        assert len(atoms) == 4
+        assert all(len(atom) == 1 for atom in atoms)
+
+    def test_size_two_requires_distinct_tables(self, star_schema):
+        from repro.catalog import Index
+
+        fact = star_schema.table("fact")
+        dim = star_schema.table("dim1")
+        a = Index.build(fact, ["fk1"])
+        b = Index.build(fact, ["fk2"])
+        c = Index.build(dim, ["id"])
+        atoms = atomic_configurations([a, b, c], max_size=2)
+        pairs = [atom for atom in atoms if len(atom) == 2]
+        assert frozenset({a, c}) in pairs
+        assert frozenset({b, c}) in pairs
+        assert frozenset({a, b}) not in pairs

@@ -1,0 +1,118 @@
+"""Workload compression tests."""
+
+import pytest
+
+from repro.exceptions import TuningError
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.workload.compression import (
+    QuerySignature,
+    WorkloadCompressor,
+    query_signature,
+    signature_distance,
+)
+
+
+def sig(tables=(), filters=(), joins=(), orders=(), log_cost=3.0):
+    return QuerySignature(
+        tables=frozenset(tables),
+        filter_columns=frozenset(filters),
+        join_columns=frozenset(joins),
+        order_columns=frozenset(orders),
+        log_cost=log_cost,
+    )
+
+
+class TestDistance:
+    def test_identical_signatures_zero(self):
+        a = sig(tables=("r",), filters=("r.a",))
+        assert signature_distance(a, a) == 0.0
+
+    def test_disjoint_tables_maximal_structural(self):
+        a = sig(tables=("r",))
+        b = sig(tables=("s",))
+        assert signature_distance(a, b) > 0.3
+
+    def test_symmetric(self):
+        a = sig(tables=("r",), filters=("r.a",), log_cost=2.0)
+        b = sig(tables=("r", "s"), joins=("r.b",), log_cost=5.0)
+        assert signature_distance(a, b) == signature_distance(b, a)
+
+    def test_cost_gap_separates_same_shape(self):
+        cheap = sig(tables=("r",), log_cost=2.0)
+        pricey = sig(tables=("r",), log_cost=6.0)
+        assert signature_distance(cheap, pricey) > 0
+
+    def test_bounded(self):
+        a = sig(tables=("r",), filters=("r.a",), joins=("r.b",), orders=("r.c",))
+        b = sig(tables=("s",), filters=("s.x",), joins=("s.y",), orders=("s.z",),
+                log_cost=20.0)
+        assert 0.0 <= signature_distance(a, b) <= 1.0 + 1e-9
+
+
+class TestQuerySignature:
+    def test_extracts_structure(self, toy_workload):
+        optimizer = WhatIfOptimizer(toy_workload)
+        for query in toy_workload:
+            signature = query_signature(optimizer, query)
+            assert signature.tables
+            assert signature.log_cost > 0
+
+
+class TestCompressor:
+    def test_target_size_respected(self, toy_workload):
+        compressed = WorkloadCompressor(4).compress(toy_workload)
+        assert len(compressed) == 4
+
+    def test_small_workload_passthrough(self, toy_workload):
+        assert WorkloadCompressor(100).compress(toy_workload) is toy_workload
+
+    def test_total_weight_preserved(self, toy_workload):
+        compressed = WorkloadCompressor(5).compress(toy_workload)
+        original_weight = sum(q.weight for q in toy_workload)
+        assert sum(q.weight for q in compressed) == pytest.approx(original_weight)
+
+    def test_representatives_come_from_original(self, toy_workload):
+        compressed = WorkloadCompressor(5).compress(toy_workload)
+        original_qids = {q.qid for q in toy_workload}
+        assert {q.qid for q in compressed} <= original_qids
+
+    def test_deterministic(self, toy_workload):
+        first = WorkloadCompressor(5).compress(toy_workload)
+        second = WorkloadCompressor(5).compress(toy_workload)
+        assert [q.qid for q in first] == [q.qid for q in second]
+
+    def test_invalid_target(self):
+        with pytest.raises(TuningError):
+            WorkloadCompressor(0)
+
+    def test_compressed_workload_is_tunable(self, toy_workload, toy_candidates):
+        from repro.config import TuningConstraints
+        from repro.tuners import MCTSTuner
+
+        compressed = WorkloadCompressor(5).compress(toy_workload)
+        result = MCTSTuner(seed=0).tune(
+            compressed,
+            budget=50,
+            constraints=TuningConstraints(max_indexes=5),
+            candidates=toy_candidates,
+        )
+        assert result.true_improvement() >= 0
+
+    def test_compressed_tuning_transfers_to_full_workload(
+        self, toy_workload, toy_candidates
+    ):
+        """Tuning the compressed workload should still help the original."""
+        from repro.config import TuningConstraints
+        from repro.tuners import MCTSTuner
+
+        compressed = WorkloadCompressor(6).compress(toy_workload)
+        result = MCTSTuner(seed=0).tune(
+            compressed,
+            budget=80,
+            constraints=TuningConstraints(max_indexes=5),
+            candidates=toy_candidates,
+        )
+        full = WhatIfOptimizer(toy_workload)
+        baseline = full.empty_workload_cost()
+        configured = full.true_workload_cost(result.configuration)
+        assert configured < baseline  # transfers, even if suboptimal

@@ -1,0 +1,65 @@
+"""Query/Workload container tests."""
+
+import pytest
+
+from repro.exceptions import TuningError
+from repro.workload.query import Query, Workload
+
+
+class TestQuery:
+    def test_lazy_parse_cached(self):
+        query = Query(qid="q1", sql="SELECT a FROM r")
+        first = query.statement
+        assert query.statement is first
+
+    def test_identity_by_qid(self):
+        assert Query(qid="q1", sql="SELECT a FROM r") == Query(
+            qid="q1", sql="SELECT b FROM s"
+        )
+
+    def test_hashable(self):
+        queries = {Query(qid="q1", sql="SELECT a FROM r")}
+        assert Query(qid="q1", sql="SELECT x FROM y") in queries
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(TuningError):
+            Query(qid="q1", sql="SELECT a FROM r", weight=0)
+
+    def test_default_weight(self):
+        assert Query(qid="q1", sql="SELECT a FROM r").weight == 1.0
+
+
+class TestWorkload:
+    def make(self, schema, n=3):
+        queries = [Query(qid=f"q{i}", sql="SELECT val FROM fact") for i in range(n)]
+        return Workload(name="w", schema=schema, queries=queries)
+
+    def test_iteration_and_len(self, star_schema):
+        workload = self.make(star_schema)
+        assert len(workload) == 3
+        assert [q.qid for q in workload] == ["q0", "q1", "q2"]
+
+    def test_indexing(self, star_schema):
+        assert self.make(star_schema)[1].qid == "q1"
+
+    def test_lookup(self, star_schema):
+        assert self.make(star_schema).query("q2").qid == "q2"
+
+    def test_lookup_missing_raises(self, star_schema):
+        with pytest.raises(TuningError):
+            self.make(star_schema).query("zz")
+
+    def test_empty_rejected(self, star_schema):
+        with pytest.raises(TuningError):
+            Workload(name="w", schema=star_schema, queries=[])
+
+    def test_duplicate_qid_rejected(self, star_schema):
+        q = Query(qid="q1", sql="SELECT val FROM fact")
+        with pytest.raises(TuningError, match="duplicate"):
+            Workload(name="w", schema=star_schema, queries=[q, q])
+
+    def test_subset(self, star_schema):
+        workload = self.make(star_schema)
+        sub = workload.subset(["q2", "q0"])
+        assert [q.qid for q in sub] == ["q2", "q0"]
+        assert sub.schema is workload.schema

@@ -1,0 +1,125 @@
+"""Benchmark workload definition tests (Table 1 fidelity)."""
+
+import statistics
+
+import pytest
+
+from repro.exceptions import TuningError
+from repro.workload.analysis import bind_query
+from repro.workloads import available_workloads, get_workload
+from repro.workloads.real import enterprise_schema
+from repro.workloads.tpch import tpch_schema
+
+
+def complexity(workload):
+    joins, filters, scans = [], [], []
+    for query in workload:
+        bound = bind_query(workload.schema, query.statement, query.qid)
+        joins.append(bound.num_joins)
+        filters.append(bound.num_filters)
+        scans.append(bound.num_scans)
+    return (
+        statistics.mean(joins),
+        statistics.mean(filters),
+        statistics.mean(scans),
+    )
+
+
+class TestRegistry:
+    def test_available_names(self):
+        assert set(available_workloads()) == {
+            "job",
+            "real_d",
+            "real_m",
+            "tpcds",
+            "tpch",
+        }
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(TuningError):
+            get_workload("nope")
+
+    def test_cache_returns_same_object(self):
+        assert get_workload("tpch") is get_workload("tpch")
+
+    def test_scaled_variant_distinct(self):
+        small = get_workload("real_m", scale=0.1)
+        assert len(small.schema.tables) < 474
+
+
+class TestTPCH:
+    def test_schema_shape(self):
+        schema = tpch_schema()
+        assert len(schema.tables) == 8
+        assert schema.table("lineitem").row_count == 60_000_000
+
+    def test_22_queries_parse_and_bind(self, tpch):
+        assert len(tpch) == 22
+        for query in tpch:
+            bound = bind_query(tpch.schema, query.statement, query.qid)
+            assert bound.num_scans >= 1
+
+    def test_complexity_close_to_paper(self, tpch):
+        joins, _, scans = complexity(tpch)
+        assert 1.5 <= joins <= 4.0  # paper: 2.8
+        assert 2.5 <= scans <= 5.0  # paper: 3.7
+
+    def test_q1_is_single_table_aggregate(self, tpch):
+        bound = bind_query(tpch.schema, tpch.query("q1").statement, "q1")
+        assert bound.tables == {"lineitem"}
+        assert bound.group_by
+
+
+class TestTPCDS:
+    def test_size_and_shape(self):
+        workload = get_workload("tpcds")
+        assert len(workload) == 99
+        assert len(workload.schema.tables) == 24
+
+    def test_complexity_close_to_paper(self):
+        joins, _, scans = complexity(get_workload("tpcds"))
+        assert 6.0 <= joins <= 9.5  # paper: 7.7
+        assert 7.0 <= scans <= 10.5  # paper: 8.8
+
+
+class TestJOB:
+    def test_size_and_shape(self):
+        workload = get_workload("job")
+        assert len(workload) == 33
+        assert len(workload.schema.tables) == 21
+
+    def test_complexity_close_to_paper(self):
+        joins, _, scans = complexity(get_workload("job"))
+        assert 6.5 <= joins <= 9.5  # paper: 7.9
+        assert 7.5 <= scans <= 10.5  # paper: 8.9
+
+
+class TestRealAnalogs:
+    def test_real_m_scaled(self):
+        workload = get_workload("real_m", scale=0.1)
+        assert len(workload) == 317
+        joins, _, _ = complexity(workload)
+        assert 15.0 <= joins <= 25.0  # paper: 20.2
+
+    def test_real_d_scaled(self):
+        workload = get_workload("real_d", scale=0.05)
+        assert len(workload) == 32
+        joins, _, _ = complexity(workload)
+        assert 11.0 <= joins <= 20.0  # paper: 15.6
+
+    def test_enterprise_schema_deterministic(self):
+        first = enterprise_schema("x", num_tables=50, target_bytes=10**9, seed=3)
+        second = enterprise_schema("x", num_tables=50, target_bytes=10**9, seed=3)
+        assert [t.row_count for t in first.tables] == [
+            t.row_count for t in second.tables
+        ]
+
+    def test_enterprise_schema_size_near_target(self):
+        schema = enterprise_schema("x", num_tables=100, target_bytes=10**9, seed=4)
+        assert 0.3 * 10**9 <= schema.total_size_bytes <= 3 * 10**9
+
+    def test_enterprise_schema_connected_enough(self):
+        schema = enterprise_schema("x", num_tables=60, target_bytes=10**8, seed=5)
+        # Every non-root table has at least one foreign key.
+        children = {fk.child_table for fk in schema.foreign_keys}
+        assert len(children) >= 59

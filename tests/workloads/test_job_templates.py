@@ -1,0 +1,87 @@
+"""Hand-adapted JOB template tests."""
+
+import statistics
+
+import pytest
+
+from repro.workload.analysis import bind_query
+from repro.workloads.job import job_schema, job_workload
+from repro.workloads.job_templates import JOB_TEMPLATE_SQL
+
+
+@pytest.fixture(scope="module")
+def job():
+    return job_workload()
+
+
+class TestTemplates:
+    def test_all_33_templates_present(self):
+        assert len(JOB_TEMPLATE_SQL) == 33
+        assert set(JOB_TEMPLATE_SQL) == {f"q{i}" for i in range(1, 34)}
+
+    def test_every_template_parses_and_binds(self, job):
+        for query in job:
+            bound = bind_query(job.schema, query.statement, query.qid)
+            assert bound.num_scans >= 3
+
+    def test_every_template_joins_through_title_or_name(self, job):
+        """Each JOB query is anchored on the movie/person entities."""
+        for query in job:
+            bound = bind_query(job.schema, query.statement, query.qid)
+            tables = bound.tables
+            assert "title" in tables or "name" in tables, query.qid
+
+    def test_q32_self_joins_title(self, job):
+        bound = bind_query(job.schema, job.query("q32").statement, "q32")
+        title_bindings = [
+            binding
+            for binding, access in bound.accesses.items()
+            if access.table == "title"
+        ]
+        assert sorted(title_bindings) == ["t1", "t2"]
+
+    def test_q33_has_duplicated_dimension_aliases(self, job):
+        bound = bind_query(job.schema, job.query("q33").statement, "q33")
+        assert {"it1", "it2", "kt1", "kt2", "cn1", "cn2"} <= set(bound.accesses)
+
+    def test_q29_is_the_widest_join(self, job):
+        bound = bind_query(job.schema, job.query("q29").statement, "q29")
+        assert bound.num_scans >= 14  # the 15-relation Shrek query
+
+    def test_complexity_matches_table1(self, job):
+        joins = [
+            bind_query(job.schema, q.statement, q.qid).num_joins for q in job
+        ]
+        scans = [
+            bind_query(job.schema, q.statement, q.qid).num_scans for q in job
+        ]
+        assert 6.5 <= statistics.mean(joins) <= 9.5   # paper: 7.9
+        assert 7.5 <= statistics.mean(scans) <= 10.5  # paper: 8.9
+
+    def test_synthesized_variant_still_available(self):
+        synthesized = job_workload(synthesized=True)
+        assert len(synthesized) == 33
+        assert synthesized.queries[0].sql != job_workload().queries[0].sql
+
+    def test_templates_are_tunable(self, job):
+        from repro.config import TuningConstraints
+        from repro.tuners import MCTSTuner
+
+        result = MCTSTuner(seed=0).tune(
+            job, budget=50, constraints=TuningConstraints(max_indexes=5)
+        )
+        assert result.true_improvement() > 0
+
+    def test_filters_are_selective_dimension_predicates(self, job):
+        """Most JOB filters land on the small dimension tables."""
+        schema = job_schema()
+        dim_filters = total = 0
+        for query in job:
+            bound = bind_query(job.schema, query.statement, query.qid)
+            for access in bound.accesses.values():
+                for _ in access.filters:
+                    total += 1
+                    if schema.table(access.table).row_count < 1_000_000:
+                        dim_filters += 1
+        assert total > 0
+        assert dim_filters / total > 0.5

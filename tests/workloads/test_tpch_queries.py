@@ -1,0 +1,90 @@
+"""TPC-H template structure tests — the queries drive the cost model the
+way their real counterparts drive a real optimizer."""
+
+import pytest
+
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.workload.analysis import PredicateKind, bind_query
+
+
+@pytest.fixture(scope="module")
+def optimizer(tpch):
+    return WhatIfOptimizer(tpch)
+
+
+def bound(tpch, qid):
+    return bind_query(tpch.schema, tpch.query(qid).statement, qid)
+
+
+class TestTemplateStructure:
+    def test_q1_pricing_summary(self, tpch):
+        q1 = bound(tpch, "q1")
+        assert q1.tables == {"lineitem"}
+        assert len(q1.group_by) == 2
+        filters = q1.accesses["lineitem"].filters
+        assert any(f.op == "<=" for f in filters)
+
+    def test_q3_shipping_priority(self, tpch):
+        q3 = bound(tpch, "q3")
+        assert q3.tables == {"customer", "orders", "lineitem"}
+        assert q3.num_joins == 2
+        assert q3.accesses["customer"].equality_columns == {"c_mktsegment"}
+
+    def test_q6_forecast_revenue(self, tpch):
+        q6 = bound(tpch, "q6")
+        assert q6.tables == {"lineitem"}
+        kinds = {f.kind for f in q6.accesses["lineitem"].filters}
+        assert kinds == {PredicateKind.RANGE}
+
+    def test_q5_six_way_join(self, tpch):
+        q5 = bound(tpch, "q5")
+        assert q5.num_scans == 6
+        assert q5.num_joins == 5
+
+    def test_q13_unsargable_not_like(self, tpch):
+        q13 = bound(tpch, "q13")
+        comment_filters = [
+            f for f in q13.accesses["orders"].filters if f.column == "o_comment"
+        ]
+        assert comment_filters[0].kind is PredicateKind.RESIDUAL
+
+    def test_q16_in_list_and_neq(self, tpch):
+        q16 = bound(tpch, "q16")
+        ops = {f.op for f in q16.accesses["part"].filters}
+        assert "IN" in ops
+        assert "<>" in ops
+
+    def test_q22_prefix_like_sargable(self, tpch):
+        q22 = bound(tpch, "q22")
+        phone = [
+            f for f in q22.accesses["customer"].filters if f.column == "c_phone"
+        ]
+        assert phone[0].kind is PredicateKind.RANGE
+
+
+class TestTemplateCosting:
+    def test_lineitem_queries_dominate(self, tpch, optimizer):
+        """The fact-table scans carry most of the workload cost."""
+        lineitem_cost = sum(
+            optimizer.empty_cost(q)
+            for q in tpch
+            if "lineitem" in bound(tpch, q.qid).tables
+        )
+        total = optimizer.empty_workload_cost()
+        assert lineitem_cost / total > 0.5
+
+    def test_q6_benefits_from_shipdate_index(self, tpch, optimizer):
+        from repro.catalog import Index
+
+        q6 = tpch.query("q6")
+        lineitem = tpch.schema.table("lineitem")
+        index = Index.build(
+            lineitem,
+            ["l_shipdate"],
+            ["l_discount", "l_extendedprice", "l_quantity"],
+        )
+        assert optimizer.true_cost(q6, frozenset({index})) < optimizer.empty_cost(q6)
+
+    def test_every_query_costs_positive(self, tpch, optimizer):
+        for query in tpch:
+            assert optimizer.empty_cost(query) > 0
