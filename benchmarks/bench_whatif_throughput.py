@@ -1,0 +1,144 @@
+"""What-if throughput: calls/sec and cache-hit rate, before/after fast path.
+
+Replays the deterministic call stream recorded in
+``reports/whatif_throughput_seed.txt`` (measured on the seed what-if path)
+on TPC-H and JOB, and reports the speedup of the current path — the fast
+path's acceptance bar is >= 3x on TPC-H. Also exercises the batched
+workload-costing API for comparison.
+
+Protocol (rng seed 0, matching the seed baseline):
+  one singleton call per (query, candidate) for the first 40 candidates,
+  plus 3000 random size-2..4 configurations drawn from the first 60
+  candidates; empty-configuration costs pre-warmed; unlimited budget.
+"""
+
+import random
+import time
+
+from conftest import run_once
+
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.workload.candidates import CandidateGenerator
+from repro.workloads.job import job_workload
+from repro.workloads.tpch import tpch_workload
+
+#: Seed-path throughput (calls/sec) from reports/whatif_throughput_seed.txt,
+#: measured at commit efaf3d6 on this container class.
+SEED_CALLS_PER_SEC = {"tpch": 38_293, "job": 19_491}
+
+SPEEDUP_FLOOR = {"tpch": 3.0, "job": 1.0}
+
+
+def _call_stream(workload, candidates):
+    rng = random.Random(0)
+    stream = []
+    for candidate in candidates[:40]:
+        for query in workload:
+            stream.append((query, frozenset({candidate})))
+    pool = candidates[:60]
+    for _ in range(3000):
+        size = rng.randint(2, 4)
+        config = frozenset(rng.sample(pool, size))
+        stream.append((rng.choice(workload.queries), config))
+    return stream
+
+
+def _measure(name, workload, *, normalize):
+    candidates = CandidateGenerator(workload.schema).for_workload(workload)
+    stream = _call_stream(workload, candidates)
+    optimizer = WhatIfOptimizer(workload, normalize_cache=normalize)
+    for query in workload:
+        optimizer.empty_cost(query)
+    start = time.perf_counter()
+    for query, config in stream:
+        optimizer.whatif_cost(query, config)
+    elapsed = time.perf_counter() - start
+    stats = optimizer.stats
+    return {
+        "name": name,
+        "normalize": normalize,
+        "queries": len(workload),
+        "candidates": len(candidates),
+        "stream": len(stream),
+        "counted": optimizer.calls_used,
+        "seconds": elapsed,
+        "calls_per_sec": len(stream) / elapsed,
+        "hit_rate": stats.hit_rate,
+        "normalized_hits": stats.normalized_hits,
+    }
+
+
+def _measure_batched(workload):
+    """The same random configurations through whatif_workload_costs."""
+    candidates = CandidateGenerator(workload.schema).for_workload(workload)
+    rng = random.Random(0)
+    pool = candidates[:60]
+    configs = [
+        frozenset(rng.sample(pool, rng.randint(2, 4))) for _ in range(300)
+    ]
+    optimizer = WhatIfOptimizer(workload)
+    for query in workload:
+        optimizer.empty_cost(query)
+    start = time.perf_counter()
+    optimizer.whatif_workload_costs(configs)
+    elapsed = time.perf_counter() - start
+    pairs = len(configs) * len(workload)
+    return pairs / elapsed
+
+
+def test_whatif_throughput(benchmark, archive):
+    def run():
+        rows = []
+        for name, factory in (("tpch", tpch_workload), ("job", job_workload)):
+            workload = factory()
+            rows.append(_measure(name, workload, normalize=True))
+            rows.append(_measure(name, workload, normalize=False))
+            rows.append((name, _measure_batched(workload)))
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    lines = [
+        "What-if throughput — fast path (cache normalization + memoized pricing)",
+        "",
+        "Protocol: rng seed 0; one singleton call per (query, candidate) for",
+        "the first 40 candidates, plus 3000 random size-2..4 configurations",
+        "from the first 60 candidates; empty costs pre-warmed; unlimited",
+        "budget. Identical to reports/whatif_throughput_seed.txt.",
+        "",
+        f"  {'workload':10s} {'normalize':>9s} {'stream':>7s} {'counted':>8s} "
+        f"{'calls/sec':>10s} {'hit%':>6s} {'norm_hits':>10s} {'vs seed':>8s}",
+    ]
+    speedups = {}
+    for row in rows:
+        if isinstance(row, tuple):
+            continue
+        seed_rate = SEED_CALLS_PER_SEC[row["name"]]
+        speedup = row["calls_per_sec"] / seed_rate
+        if row["normalize"]:
+            speedups[row["name"]] = speedup
+        lines.append(
+            f"  {row['name']:10s} {str(row['normalize']):>9s} "
+            f"{row['stream']:7d} {row['counted']:8d} "
+            f"{row['calls_per_sec']:10,.0f} {100 * row['hit_rate']:6.1f} "
+            f"{row['normalized_hits']:10d} {speedup:7.1f}x"
+        )
+    lines.append("")
+    for row in rows:
+        if isinstance(row, tuple):
+            name, rate = row
+            lines.append(
+                f"  {name}: batched whatif_workload_costs throughput "
+                f"{rate:,.0f} pairs/sec"
+            )
+    lines.append("")
+    lines.append(
+        "  seed baselines (calls/sec): "
+        + ", ".join(f"{k}={v:,}" for k, v in SEED_CALLS_PER_SEC.items())
+    )
+    archive("whatif_throughput", "\n".join(lines))
+
+    for name, floor in SPEEDUP_FLOOR.items():
+        assert speedups[name] >= floor, (
+            f"{name} fast path {speedups[name]:.1f}x below the {floor}x floor"
+        )

@@ -144,6 +144,14 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         f"{result.tuner}: {result.true_improvement():.1f}% improvement, "
         f"{result.calls_used} what-if calls used"
     )
+    if result.optimizer is not None:
+        stats = result.optimizer.stats
+        print(
+            f"what-if cache: {100.0 * stats.hit_rate:.1f}% hit rate "
+            f"({stats.cache_hits} hits / {stats.cache_misses} misses), "
+            f"{stats.normalized_hits} saved by normalization, "
+            f"{stats.cost_seconds:.3f}s in the cost model"
+        )
     if not result.configuration:
         print("no indexes recommended")
         return 0

@@ -14,9 +14,59 @@ each tuner because it parameterises the search, not the result.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.exceptions import ConstraintError
+
+
+@dataclass(frozen=True)
+class ReproConfig:
+    """Engine/runtime knobs — performance plumbing, not paper semantics.
+
+    These switch *how fast* the simulated what-if optimizer runs, never
+    *what* it computes: every combination of knobs produces bit-identical
+    costs, budget accounting, and call-log layouts.
+
+    Attributes:
+        normalize_cache: Normalise every what-if cache key to the query's
+            *relevant* index subset, so configurations differing only in
+            indexes the query cannot use share one cache entry (and one
+            counted call). Costs are provably unchanged — irrelevant
+            indexes contribute no plan options.
+        whatif_pool_size: Worker threads used by the batched costing API
+            (:meth:`~repro.optimizer.whatif.WhatIfOptimizer.whatif_prefetch`
+            and friends). ``1`` prices serially. Results, budget charges,
+            and log ordinals are committed in issue order, so the pool size
+            never affects outcomes — only wall-clock (and only when the
+            cost model releases the GIL, e.g. a native backend).
+    """
+
+    normalize_cache: bool = True
+    whatif_pool_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.whatif_pool_size < 1:
+            raise ConstraintError(
+                f"whatif_pool_size must be at least 1, got {self.whatif_pool_size}"
+            )
+
+    @classmethod
+    def from_env(cls) -> "ReproConfig":
+        """Build a config from ``REPRO_NORMALIZE_CACHE`` / ``REPRO_WHATIF_POOL``."""
+        normalize = os.environ.get("REPRO_NORMALIZE_CACHE", "1") not in (
+            "0",
+            "false",
+            "no",
+        )
+        raw_pool = os.environ.get("REPRO_WHATIF_POOL", "1")
+        try:
+            pool = int(raw_pool)
+        except ValueError:
+            raise ConstraintError(
+                f"REPRO_WHATIF_POOL must be an integer, got {raw_pool!r}"
+            ) from None
+        return cls(normalize_cache=normalize, whatif_pool_size=pool)
 
 
 @dataclass(frozen=True)

@@ -243,10 +243,7 @@ class MCTSSearch:
         """EvaluateCostWithBudget: one counted call, derived for the rest."""
         optimizer = self._optimizer
         workload = list(optimizer.workload)
-        derived = [
-            query.weight * optimizer.derived_cost(query, configuration)
-            for query in workload
-        ]
+        derived = optimizer.derived_query_costs(configuration)
         total = sum(derived)
         if not configuration:
             return total

@@ -29,6 +29,9 @@ def records_to_json(records: list[RunRecord], indent: int | None = 2) -> str:
             "improvement_std": r.improvement_std,
             "calls_used": r.calls_used,
             "seconds": r.seconds,
+            "cache_hit_rate": r.cache_hit_rate,
+            "normalized_hits": r.normalized_hits,
+            "cost_seconds": r.cost_seconds,
             "seeds": r.seeds,
         }
         for r in records
@@ -40,14 +43,17 @@ def format_records(records: list[RunRecord]) -> str:
     """Flat table of all records (diagnostic view)."""
     header = (
         f"{'workload':10s} {'tuner':18s} {'K':>3s} {'budget':>7s} "
-        f"{'improve%':>9s} {'std':>6s} {'calls':>7s} {'sec':>7s}"
+        f"{'improve%':>9s} {'std':>6s} {'calls':>7s} {'sec':>7s} "
+        f"{'hit%':>6s} {'norm':>7s} {'cost_s':>7s}"
     )
     lines = [header, "-" * len(header)]
     for r in records:
         lines.append(
             f"{r.workload:10s} {r.tuner:18s} {r.max_indexes:3d} {r.budget:7d} "
             f"{r.improvement_mean:9.1f} {r.improvement_std:6.1f} "
-            f"{r.calls_used:7.0f} {r.seconds:7.2f}"
+            f"{r.calls_used:7.0f} {r.seconds:7.2f} "
+            f"{100.0 * r.cache_hit_rate:6.1f} {r.normalized_hits:7.0f} "
+            f"{r.cost_seconds:7.3f}"
         )
     return "\n".join(lines)
 

@@ -40,6 +40,10 @@ class RunRecord:
         calls_used: Mean counted calls consumed.
         seconds: Mean wall-clock seconds per run (library time, not the
             simulated what-if latency).
+        cache_hit_rate: Mean what-if cache hit rate across seeds.
+        normalized_hits: Mean free lookups owed to relevant-index cache
+            normalization (calls a whole-key cache would have counted).
+        cost_seconds: Mean wall-clock spent inside the cost model.
         seeds: Seeds used.
         results: The underlying per-seed results (for convergence plots).
     """
@@ -52,6 +56,9 @@ class RunRecord:
     improvement_std: float
     calls_used: float
     seconds: float
+    cache_hit_rate: float = 0.0
+    normalized_hits: float = 0.0
+    cost_seconds: float = 0.0
     seeds: list[int] = field(default_factory=list)
     results: list[TuningResult] = field(default_factory=list, repr=False)
 
@@ -106,6 +113,9 @@ class ExperimentRunner:
         improvements: list[float] = []
         calls: list[float] = []
         elapsed: list[float] = []
+        hit_rates: list[float] = []
+        norm_hits: list[float] = []
+        cost_secs: list[float] = []
         results: list[TuningResult] = []
         tuner_name = ""
         for seed in seeds:
@@ -121,9 +131,18 @@ class ExperimentRunner:
             elapsed.append(time.perf_counter() - start)
             improvements.append(result.true_improvement())
             calls.append(float(result.calls_used))
+            if result.optimizer is not None:
+                stats = result.optimizer.stats
+                hit_rates.append(stats.hit_rate)
+                norm_hits.append(float(stats.normalized_hits))
+                cost_secs.append(stats.cost_seconds)
             if self._keep_results:
                 results.append(result)
         mean, std = mean_and_std(improvements)
+
+        def _mean(values: list[float]) -> float:
+            return sum(values) / len(values) if values else 0.0
+
         return RunRecord(
             workload=self._workload.name,
             tuner=tuner_name,
@@ -133,6 +152,9 @@ class ExperimentRunner:
             improvement_std=std,
             calls_used=sum(calls) / len(calls),
             seconds=sum(elapsed) / len(elapsed),
+            cache_hit_rate=_mean(hit_rates),
+            normalized_hits=_mean(norm_hits),
+            cost_seconds=_mean(cost_secs),
             seeds=list(seeds),
             results=results,
         )

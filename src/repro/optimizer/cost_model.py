@@ -16,6 +16,17 @@ fixed (configuration-independent, chosen at preparation time) but whose
 Because every choice is a minimum over an option set that only grows when
 indexes are added, the model satisfies the paper's Assumption 1
 (monotonicity) exactly: ``C1 ⊆ C2  ⇒  cost(q, C2) ≤ cost(q, C1)``.
+
+Pricing is split into two tiers so the per-call hot path stays small:
+
+* :func:`attach_cost_constants` hoists every configuration-independent term
+  (heap-scan price, B-tree descent height, per-step hash-join fixed terms,
+  the sort/group stage price) onto the prepared query once per
+  parameter set;
+* per-(access, index) seek/scan options and per-(join step, index) INLJ
+  prices are memoized on the prepared query the first time an index is
+  priced, so a what-if call reduces to minima over precomputed numbers plus
+  the configuration-dependent operator choices.
 """
 
 from __future__ import annotations
@@ -34,6 +45,9 @@ from repro.optimizer.prepared import (
     prepare_query,
 )
 from repro.workload.analysis import BoundQuery
+
+#: Memo-table sentinel distinguishing "not computed" from "no option".
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -61,7 +75,7 @@ class CostModelParams:
     btree_fanout: float = 128.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _AccessOption:
     """One candidate access path produced during operator selection."""
 
@@ -70,6 +84,58 @@ class _AccessOption:
     index: Index | None
     fetched_rows: float
     key_columns: tuple[str, ...]  # order the option delivers rows in
+
+
+def _descend_cost(params: CostModelParams, row_count: float) -> float:
+    """B-tree descent price for a table of ``row_count`` rows."""
+    height = max(1.0, math.log(max(row_count, 2), params.btree_fanout))
+    return params.rand_page_cost * height
+
+
+def attach_cost_constants(prepared: PreparedQuery, params: CostModelParams) -> None:
+    """(Re)compute the configuration-independent cost constants.
+
+    Called once per prepared query by :meth:`CostModel.prepare`, and again
+    only if a model with *different* parameters prices the same prepared
+    query (the memo tables are cleared because their entries embed the old
+    parameters).
+    """
+    p = params
+    for access in prepared.accesses.values():
+        table = access.table
+        scan_cost = (
+            table.pages * p.seq_page_cost
+            + table.row_count * p.cpu_tuple_cost
+            + table.row_count * access.filter_count * p.cpu_operator_cost
+        )
+        access.heap_option = _AccessOption(
+            cost=scan_cost,
+            method="heap_scan",
+            index=None,
+            fetched_rows=float(table.row_count),
+            key_columns=(),
+        )
+        access.descend_cost = _descend_cost(p, table.row_count)
+        access.option_cache.clear()
+    for step in prepared.join_steps:
+        inner = step.access
+        step.hash_fixed_cost = (
+            inner.output_rows * p.hash_build_cost
+            + step.outer_rows * p.hash_probe_cost
+            + step.output_rows * p.cpu_tuple_cost
+        )
+        step.probe_cache.clear()
+    stage_cost = 0.0
+    if prepared.sort_rows > 0:
+        stage_cost = (
+            p.sort_factor * prepared.sort_rows * math.log2(prepared.sort_rows + 2.0)
+        )
+        if prepared.aggregate_only:
+            # GROUP BY without ORDER BY: a hash aggregate (linear in the
+            # input) competes with the sort-based aggregate.
+            stage_cost = min(stage_cost, prepared.sort_rows * p.hash_build_cost)
+    prepared.stage_cost = stage_cost
+    prepared.params = params
 
 
 class CostModel:
@@ -93,16 +159,20 @@ class CostModel:
 
     def prepare(self, bound: BoundQuery) -> PreparedQuery:
         """Prepare a bound query for repeated costing."""
-        return prepare_query(self._schema, bound)
+        prepared = prepare_query(self._schema, bound)
+        attach_cost_constants(prepared, self._params)
+        return prepared
 
     def cost(self, prepared: PreparedQuery, configuration) -> float:
         """Estimated cost of ``prepared`` under ``configuration`` (fast path)."""
+        self._ensure_constants(prepared)
         by_table = self._group_by_table(configuration)
         total, _ = self._price(prepared, by_table, explain=False)
         return total
 
     def explain(self, prepared: PreparedQuery, configuration) -> QueryPlan:
         """Like :meth:`cost` but returning the full plan tree."""
+        self._ensure_constants(prepared)
         by_table = self._group_by_table(configuration)
         _, plan = self._price(prepared, by_table, explain=True)
         assert plan is not None
@@ -112,20 +182,22 @@ class CostModel:
     # internals
     # ------------------------------------------------------------------ #
 
+    def _descend_cost(self, row_count: float) -> float:
+        """B-tree descent price under this model's parameters."""
+        return _descend_cost(self._params, row_count)
+
+    def _ensure_constants(self, prepared: PreparedQuery) -> None:
+        # Identity check first: the equality fallback only matters when a
+        # prepared query crosses between models with equal-valued params.
+        if prepared.params is not self._params and prepared.params != self._params:
+            attach_cost_constants(prepared, self._params)
+
     @staticmethod
     def _group_by_table(configuration) -> dict[str, list[Index]]:
         grouped: dict[str, list[Index]] = {}
         for index in configuration:
             grouped.setdefault(index.table, []).append(index)
         return grouped
-
-    def _descend_cost(self, row_count: int) -> float:
-        height = max(1.0, math.log(max(row_count, 2), self._params.btree_fanout))
-        return self._params.rand_page_cost * height
-
-    @staticmethod
-    def _leaf_pages(index: Index) -> float:
-        return max(1.0, index.estimated_size_bytes / PAGE_BYTES)
 
     def _seek_selectivity(
         self, access: PreparedAccess, index: Index
@@ -151,94 +223,120 @@ class CostModel:
             break
         return selectivity, consumed
 
+    def _option_for(self, access: PreparedAccess, index: Index) -> _AccessOption | None:
+        """The memoized access-path option of ``index`` for ``access``.
+
+        ``None`` means the index can neither seek nor cover this access —
+        it contributes no option and cannot change the access price.
+        """
+        cached = access.option_cache.get(index, _UNSET)
+        if cached is not _UNSET:
+            return cached  # type: ignore[return-value]
+        option = self._build_option(access, index)
+        access.option_cache[index] = option
+        return option
+
+    def _build_option(
+        self, access: PreparedAccess, index: Index
+    ) -> _AccessOption | None:
+        p = self._params
+        table = access.table
+        covering = index.covers(access.required_columns)
+        seek_sel, consumed = self._seek_selectivity(access, index)
+        leaf_pages = max(1.0, index.estimated_size_bytes / PAGE_BYTES)
+        entries_per_page = max(1.0, table.row_count / leaf_pages)
+
+        if consumed > 0:
+            fetched = max(1.0, table.row_count * seek_sel)
+            matched_pages = max(1.0, fetched / entries_per_page)
+            cost = (
+                access.descend_cost
+                + matched_pages * p.seq_page_cost
+                + fetched * p.cpu_tuple_cost
+                + fetched * access.filter_count * p.cpu_operator_cost
+            )
+            if covering:
+                return _AccessOption(
+                    cost=cost,
+                    method="index_only_seek",
+                    index=index,
+                    fetched_rows=fetched,
+                    key_columns=index.key_columns,
+                )
+            return _AccessOption(
+                cost=cost + fetched * p.rand_page_cost,
+                method="index_seek",
+                index=index,
+                fetched_rows=fetched,
+                key_columns=index.key_columns,
+            )
+        if covering:
+            cost = (
+                leaf_pages * p.seq_page_cost
+                + table.row_count * p.cpu_tuple_cost
+                + table.row_count * access.filter_count * p.cpu_operator_cost
+            )
+            return _AccessOption(
+                cost=cost,
+                method="index_only_scan",
+                index=index,
+                fetched_rows=float(table.row_count),
+                key_columns=index.key_columns,
+            )
+        return None
+
     def _access_options(
         self, access: PreparedAccess, indexes: list[Index]
     ) -> list[_AccessOption]:
-        p = self._params
-        table = access.table
-        options: list[_AccessOption] = []
-
-        scan_cost = (
-            table.pages * p.seq_page_cost
-            + table.row_count * p.cpu_tuple_cost
-            + table.row_count * access.filter_count * p.cpu_operator_cost
-        )
-        options.append(
-            _AccessOption(
-                cost=scan_cost,
-                method="heap_scan",
-                index=None,
-                fetched_rows=float(table.row_count),
-                key_columns=(),
-            )
-        )
-
+        options = [access.heap_option]
         for index in indexes:
-            covering = index.covers(access.required_columns)
-            seek_sel, consumed = self._seek_selectivity(access, index)
-            leaf_pages = self._leaf_pages(index)
-            entries_per_page = max(1.0, table.row_count / leaf_pages)
-
-            if consumed > 0:
-                fetched = max(1.0, table.row_count * seek_sel)
-                matched_pages = max(1.0, fetched / entries_per_page)
-                cost = (
-                    self._descend_cost(table.row_count)
-                    + matched_pages * p.seq_page_cost
-                    + fetched * p.cpu_tuple_cost
-                    + fetched * access.filter_count * p.cpu_operator_cost
-                )
-                if covering:
-                    options.append(
-                        _AccessOption(
-                            cost=cost,
-                            method="index_only_seek",
-                            index=index,
-                            fetched_rows=fetched,
-                            key_columns=index.key_columns,
-                        )
-                    )
-                else:
-                    lookup_cost = fetched * p.rand_page_cost
-                    options.append(
-                        _AccessOption(
-                            cost=cost + lookup_cost,
-                            method="index_seek",
-                            index=index,
-                            fetched_rows=fetched,
-                            key_columns=index.key_columns,
-                        )
-                    )
-            elif covering:
-                cost = (
-                    leaf_pages * p.seq_page_cost
-                    + table.row_count * p.cpu_tuple_cost
-                    + table.row_count * access.filter_count * p.cpu_operator_cost
-                )
-                options.append(
-                    _AccessOption(
-                        cost=cost,
-                        method="index_only_scan",
-                        index=index,
-                        fetched_rows=float(table.row_count),
-                        key_columns=index.key_columns,
-                    )
-                )
-        return options
+            option = self._option_for(access, index)
+            if option is not None:
+                options.append(option)
+        return options  # type: ignore[return-value]
 
     def _best_access(
         self, access: PreparedAccess, indexes: list[Index]
     ) -> _AccessOption:
-        return min(
-            self._access_options(access, indexes),
-            key=lambda option: option.cost,
-        )
+        best: _AccessOption = access.heap_option  # type: ignore[assignment]
+        for index in indexes:
+            option = self._option_for(access, index)
+            if option is not None and option.cost < best.cost:
+                best = option
+        return best
+
+    def _inl_total(self, step: PreparedJoinStep, index: Index) -> float | None:
+        """Memoized total INLJ price of ``step`` probing ``index``.
+
+        The outer cardinality entering the step is fixed by the
+        configuration-independent join order, so the *whole* step price is
+        an index-local constant.
+        """
+        cached = step.probe_cache.get(index, _UNSET)
+        if cached is not _UNSET:
+            return cached  # type: ignore[return-value]
+        p = self._params
+        access = step.access
+        table = access.table
+        total: float | None = None
+        probe_sel = self._probe_selectivity(access, index, step.join_columns)
+        if probe_sel is not None:
+            rows_per_probe = max(0.05, table.row_count * probe_sel)
+            leaf_pages = max(1.0, index.estimated_size_bytes / PAGE_BYTES)
+            entries_per_page = max(1.0, table.row_count / leaf_pages)
+            per_probe = (
+                access.descend_cost
+                + max(1.0, rows_per_probe / entries_per_page) * p.seq_page_cost
+                + rows_per_probe * p.cpu_tuple_cost
+            )
+            if not index.covers(access.required_columns):
+                per_probe += rows_per_probe * p.rand_page_cost
+            total = step.outer_rows * per_probe + step.output_rows * p.cpu_tuple_cost
+        step.probe_cache[index] = total
+        return total
 
     def _inl_probe_option(
-        self,
-        step: PreparedJoinStep,
-        outer_rows: float,
-        indexes: list[Index],
+        self, step: PreparedJoinStep, indexes: list[Index]
     ) -> tuple[float, Index] | None:
         """Cheapest index-nested-loop probe into ``step``'s inner access.
 
@@ -246,26 +344,10 @@ class CostModel:
         its key such that every earlier key column is bound by an equality
         filter predicate of the inner access.
         """
-        p = self._params
-        access = step.access
-        table = access.table
         best: tuple[float, Index] | None = None
         for index in indexes:
-            probe_sel = self._probe_selectivity(access, index, step.join_columns)
-            if probe_sel is None:
-                continue
-            rows_per_probe = max(0.05, table.row_count * probe_sel)
-            leaf_pages = self._leaf_pages(index)
-            entries_per_page = max(1.0, table.row_count / leaf_pages)
-            per_probe = (
-                self._descend_cost(table.row_count)
-                + max(1.0, rows_per_probe / entries_per_page) * p.seq_page_cost
-                + rows_per_probe * p.cpu_tuple_cost
-            )
-            if not index.covers(access.required_columns):
-                per_probe += rows_per_probe * p.rand_page_cost
-            total = outer_rows * per_probe + step.output_rows * p.cpu_tuple_cost
-            if best is None or total < best[0]:
+            total = self._inl_total(step, index)
+            if total is not None and (best is None or total < best[0]):
                 best = (total, index)
         return best
 
@@ -296,24 +378,11 @@ class CostModel:
         by_table: dict[str, list[Index]],
         explain: bool,
     ) -> tuple[float, QueryPlan | None]:
-        p = self._params
         first = prepared.accesses[prepared.first_binding]
-        first_indexes = by_table.get(first.table.name, [])
+        first_indexes = by_table.get(first.table.name, ())
 
         sort_needed = prepared.sort_rows > 0
-        sort_cost = 0.0
-        if sort_needed:
-            sort_cost = (
-                p.sort_factor
-                * prepared.sort_rows
-                * math.log2(prepared.sort_rows + 2.0)
-            )
-            if prepared.aggregate_only:
-                # GROUP BY without ORDER BY: a hash aggregate (linear in the
-                # input) competes with the sort-based aggregate.
-                sort_cost = min(
-                    sort_cost, prepared.sort_rows * p.hash_build_cost
-                )
+        sort_cost = prepared.stage_cost
 
         sort_avoided = False
         if sort_needed and prepared.order_columns and not prepared.join_steps:
@@ -338,24 +407,17 @@ class CostModel:
             applied_sort = sort_cost if sort_needed else 0.0
 
         join_plans: list[JoinPlan] = []
-        outer_rows = first.output_rows
         for step in prepared.join_steps:
             inner = step.access
-            inner_indexes = by_table.get(inner.table.name, [])
+            inner_indexes = by_table.get(inner.table.name, ())
             inner_option = self._best_access(inner, inner_indexes)
-            hash_cost = (
-                inner_option.cost
-                + inner.output_rows * p.hash_build_cost
-                + outer_rows * p.hash_probe_cost
-                + step.output_rows * p.cpu_tuple_cost
-            )
-            inl = self._inl_probe_option(step, outer_rows, inner_indexes)
+            hash_cost = inner_option.cost + step.hash_fixed_cost
+            inl = self._inl_probe_option(step, inner_indexes)
             if inl is not None and inl[0] < hash_cost:
                 step_cost, method, used_index = inl[0], "index_nested_loop", inl[1]
             else:
                 step_cost, method, used_index = hash_cost, "hash_join", inner_option.index
             total_cost += step_cost
-            outer_rows = step.output_rows
             if explain:
                 join_plans.append(
                     JoinPlan(

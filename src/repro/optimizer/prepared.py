@@ -10,18 +10,38 @@ Fixing the join order independently of the configuration also gives the cost
 model an exact *monotonicity* guarantee (the paper's Assumption 1): adding
 indexes can only add plan options to a fixed operator skeleton, so the
 minimum cost never increases.
+
+Beyond the structural facts, a prepared query carries two kinds of
+performance state maintained by the cost model:
+
+* *cost constants* — configuration-independent arithmetic (heap-scan price,
+  B-tree descent height, per-step hash-join fixed terms, the sort/group
+  stage price) hoisted out of the per-call pricing loop by
+  :func:`repro.optimizer.cost_model.attach_cost_constants`;
+* *memo tables* — per-(access, index) access-path options and per-(join
+  step, index) INLJ prices, filled lazily on first use so repeated what-if
+  calls reduce to minima over precomputed numbers.
+
+It also knows which indexes are *relevant* to the query
+(:func:`index_is_relevant`): an index that can produce no access option, no
+INLJ probe, and no sort avoidance cannot change the query's plan or cost,
+so what-if cache keys can safely be normalised to the relevant subset.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.catalog import Schema, Table
+from repro.catalog import Index, Schema, Table
 from repro.optimizer import selectivity as sel
 from repro.workload.analysis import BoundJoin, BoundQuery, PredicateKind, TableAccess
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cost_model imports us)
+    from repro.optimizer.cost_model import CostModelParams, _AccessOption
 
-@dataclass
+
+@dataclass(slots=True)
 class PreparedAccess:
     """Precomputed facts about one table access.
 
@@ -38,6 +58,12 @@ class PreparedAccess:
         required_columns: Columns an index must carry to cover this access.
         output_rows: Estimated rows surviving all filters.
         filter_count: Number of filter predicates (costed as CPU work).
+        heap_option: The always-available heap-scan access option, priced at
+            prepare time (cost constant, owned by the cost model).
+        descend_cost: B-tree descent price for this table's cardinality
+            (cost constant, owned by the cost model).
+        option_cache: Per-index memo of access-path options (``None`` when
+            the index yields no option for this access).
     """
 
     binding: str
@@ -49,9 +75,12 @@ class PreparedAccess:
     required_columns: frozenset[str]
     output_rows: float
     filter_count: int
+    heap_option: "_AccessOption | None" = None
+    descend_cost: float = 0.0
+    option_cache: dict[Index, "_AccessOption | None"] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class PreparedJoinStep:
     """One step of the left-deep join pipeline.
 
@@ -63,15 +92,24 @@ class PreparedJoinStep:
         edge_selectivity: Product of join selectivities of the connecting
             edges.
         output_rows: Estimated cardinality after this join step.
+        outer_rows: Estimated cardinality *entering* this step (the prefix's
+            output) — fixed by the configuration-independent join order.
+        hash_fixed_cost: Configuration-independent part of the hash-join
+            price (build + probe + output CPU terms), a cost constant.
+        probe_cache: Per-index memo of the *total* INLJ price of this step
+            (``None`` when the index cannot serve the probe).
     """
 
     access: PreparedAccess
     join_columns: tuple[str, ...]
     edge_selectivity: float
     output_rows: float
+    outer_rows: float = 0.0
+    hash_fixed_cost: float = 0.0
+    probe_cache: dict[Index, float | None] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class PreparedQuery:
     """A query fully prepared for configuration costing.
 
@@ -87,6 +125,10 @@ class PreparedQuery:
         sort_rows: Rows entering the sort/group stage (0 when none needed).
         aggregate_only: True when the stage serves only a GROUP BY (no
             ORDER BY), so a hash aggregate can replace the sort.
+        params: The cost-model parameters the cost constants were computed
+            with (``None`` until a cost model attaches them).
+        stage_cost: Price of the sort/group stage (cost constant).
+        relevance: Per-index memo of :func:`index_is_relevant`.
     """
 
     qid: str
@@ -97,10 +139,78 @@ class PreparedQuery:
     order_columns: tuple[str, ...] = ()
     sort_rows: float = 0.0
     aggregate_only: bool = False
+    params: "CostModelParams | None" = None
+    stage_cost: float = 0.0
+    relevance: dict[Index, bool] = field(default_factory=dict)
 
     @property
     def bindings(self) -> list[str]:
         return list(self.accesses)
+
+    def relevant_subset(self, configuration: frozenset[Index]) -> frozenset[Index]:
+        """``configuration ∩ relevant(q)`` — the indexes that can affect cost.
+
+        Returns ``configuration`` itself (same object) when every index is
+        relevant, so callers can detect collapse with an identity check and
+        fully-relevant keys avoid a rebuild.
+        """
+        memo = self.relevance
+        dropped = False
+        kept: list[Index] = []
+        for index in configuration:
+            relevant = memo.get(index)
+            if relevant is None:
+                relevant = index_is_relevant(self, index)
+                memo[index] = relevant
+            if relevant:
+                kept.append(index)
+            else:
+                dropped = True
+        if not dropped:
+            return configuration
+        return frozenset(kept)
+
+
+def index_is_relevant(prepared: PreparedQuery, index: Index) -> bool:
+    """Whether ``index`` can produce any plan option for ``prepared``.
+
+    Mirrors the cost model's option generation exactly — an index is
+    relevant iff at least one of these holds:
+
+    * *seekable*: some access on its table carries an equality or range
+      predicate on the index's leading key column;
+    * *covering*: it carries every column some access on its table requires
+      (enabling an index-only scan);
+    * *probe-qualifying*: for some join step on its table, a join column
+      appears in its key with every earlier key column bound by an equality
+      predicate (enabling an index-nested-loop probe).
+
+    When none holds, the index contributes no option to any minimum the
+    model takes, so ``cost(q, C) == cost(q, C − {index})`` exactly; dropping
+    it from cache keys is semantics-preserving.
+    """
+    table_name = index.table
+    first_key = index.key_columns[0]
+    for access in prepared.accesses.values():
+        if access.table.name != table_name:
+            continue
+        if (
+            first_key in access.equality_selectivity
+            or first_key in access.range_selectivity
+        ):
+            return True
+        if index.covers(access.required_columns):
+            return True
+    for step in prepared.join_steps:
+        access = step.access
+        if access.table.name != table_name:
+            continue
+        for column in index.key_columns:
+            if column in step.join_columns:
+                return True
+            if column not in access.equality_selectivity:
+                break
+    return False
 
 
 def _prepare_access(schema: Schema, access: TableAccess) -> PreparedAccess:
@@ -165,7 +275,12 @@ def _choose_join_order(
 
 
 def prepare_query(schema: Schema, bound: BoundQuery) -> PreparedQuery:
-    """Prepare ``bound`` for repeated configuration costing."""
+    """Prepare ``bound`` for repeated configuration costing.
+
+    Cost constants are attached lazily by the first cost model that prices
+    the query (see :func:`repro.optimizer.cost_model.attach_cost_constants`),
+    so preparation itself stays parameter-free.
+    """
     accesses = {
         binding: _prepare_access(schema, access)
         for binding, access in bound.accesses.items()
@@ -193,6 +308,7 @@ def prepare_query(schema: Schema, bound: BoundQuery) -> PreparedQuery:
                 accesses[other].table.column(other_column),
                 access.table.column(inner_column),
             )
+        outer_rows = rows
         rows = max(1.0, rows * access.output_rows * edge_selectivity)
         steps.append(
             PreparedJoinStep(
@@ -200,6 +316,7 @@ def prepare_query(schema: Schema, bound: BoundQuery) -> PreparedQuery:
                 join_columns=tuple(join_columns),
                 edge_selectivity=edge_selectivity,
                 output_rows=rows,
+                outer_rows=outer_rows,
             )
         )
         joined.add(binding)
@@ -224,4 +341,3 @@ def prepare_query(schema: Schema, bound: BoundQuery) -> PreparedQuery:
         sort_rows=rows if needs_sort else 0.0,
         aggregate_only=bool(bound.group_by) and not bound.order_by,
     )
-

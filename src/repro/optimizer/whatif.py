@@ -11,13 +11,37 @@ mirrors the AutoAdmin "what-if" API [Chaudhuri & Narasayya, SIGMOD'98]:
 * a :class:`BudgetMeter` that raises :class:`BudgetExhaustedError` when the
   budget is spent, and a call log that records the layout of the budget
   allocation matrix actually realised by a tuning run.
+
+Two layers make the simulated optimizer fast without touching paper
+semantics:
+
+* **Relevant-index cache normalization** — every cache key is collapsed to
+  ``C ∩ relevant(q)`` (see
+  :func:`~repro.optimizer.prepared.index_is_relevant`), so configurations
+  differing only in indexes the query cannot use share one cache entry, one
+  counted call, and one derivation record. A call is counted iff the
+  *normalized* key is uncached; costs are bit-identical because irrelevant
+  indexes contribute no plan options. Disable with ``normalize_cache=False``
+  to reproduce whole-key caching.
+* **Batched costing** — :meth:`whatif_prefetch` and
+  :meth:`whatif_workload_costs` partition uncached (query, key) pairs,
+  price them in one pass (optionally on a thread pool sized by
+  :class:`~repro.config.ReproConfig.whatif_pool_size`), and commit cache /
+  meter / log updates strictly in issue order, so budget accounting and the
+  call-log layout are identical for every pool size.
+
+Cheap counters (:class:`WhatIfStats`) expose cache hits/misses, calls saved
+by normalization, and cumulative cost-model wall time so perf regressions
+stay visible in eval reports, the CLI, and the throughput benchmark.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.catalog import Index
+from repro.config import ReproConfig
 from repro.exceptions import BudgetExhaustedError, TuningError
 from repro.optimizer.cost_model import CostModel
 from repro.optimizer.derivation import CostDerivation
@@ -64,8 +88,8 @@ class BudgetMeter:
         """Whether no further counted calls are allowed."""
         return self.budget is not None and self._spent >= self.budget
 
-    def charge(self) -> None:
-        """Consume one call.
+    def check(self) -> None:
+        """Raise without consuming anything if the budget is spent.
 
         Raises:
             BudgetExhaustedError: If the budget is already spent.
@@ -74,10 +98,18 @@ class BudgetMeter:
             raise BudgetExhaustedError(
                 f"what-if budget of {self.budget} calls exhausted"
             )
+
+    def charge(self) -> None:
+        """Consume one call.
+
+        Raises:
+            BudgetExhaustedError: If the budget is already spent.
+        """
+        self.check()
         self._spent += 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WhatIfCall:
     """One counted what-if call, in issue order (a layout entry, Def. 1)."""
 
@@ -85,6 +117,52 @@ class WhatIfCall:
     qid: str
     configuration: frozenset[Index]
     cost: float
+
+
+@dataclass(slots=True)
+class WhatIfStats:
+    """Hot-path counters for one :class:`WhatIfOptimizer`.
+
+    Attributes:
+        cache_hits: Free lookups answered from the what-if cache.
+        cache_misses: Counted calls (each priced the cost model once).
+        normalized_hits: Free lookups that were free *because* relevant-set
+            normalization collapsed the key — calls the whole-key cache
+            would have counted.
+        cost_evaluations: Cost-model pricings, counted and uncounted
+            (ground-truth evaluation included).
+        cost_seconds: Cumulative wall-clock spent inside
+            :meth:`CostModel.cost` (for pooled batches: the batch wall time).
+        batch_calls: Batched pricing passes issued.
+        batched_pairs: Uncached pairs priced by those passes.
+    """
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    normalized_hits: int = 0
+    cost_evaluations: int = 0
+    cost_seconds: float = 0.0
+    batch_calls: int = 0
+    batched_pairs: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cache lookups answered for free (0 when idle)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Scalar view for reports and JSON export."""
+        return {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+            "normalized_hits": self.normalized_hits,
+            "cost_evaluations": self.cost_evaluations,
+            "cost_seconds": self.cost_seconds,
+            "batch_calls": self.batch_calls,
+            "batched_pairs": self.batched_pairs,
+        }
 
 
 class WhatIfOptimizer:
@@ -96,6 +174,14 @@ class WhatIfOptimizer:
         cost_model: Optional pre-built cost model (defaults to a fresh
             :class:`~repro.optimizer.cost_model.CostModel` over the
             workload's schema).
+        normalize_cache: Collapse cache keys to the query's relevant index
+            subset (default on; ``None`` defers to ``config``).
+        pool_size: Worker threads for batched costing (``None`` defers to
+            ``config``; 1 prices serially). Never affects results.
+        config: Engine knobs; defaults to
+            :meth:`~repro.config.ReproConfig.from_env` so the
+            ``REPRO_NORMALIZE_CACHE`` / ``REPRO_WHATIF_POOL`` environment
+            knobs apply to any run that does not pass an explicit config.
     """
 
     def __init__(
@@ -103,15 +189,28 @@ class WhatIfOptimizer:
         workload: Workload,
         budget: int | None = None,
         cost_model: CostModel | None = None,
+        *,
+        normalize_cache: bool | None = None,
+        pool_size: int | None = None,
+        config: ReproConfig | None = None,
     ):
+        base = config or ReproConfig.from_env()
         self._workload = workload
         self._model = cost_model or CostModel(workload.schema)
         self._meter = BudgetMeter(budget)
+        self._normalize = (
+            base.normalize_cache if normalize_cache is None else normalize_cache
+        )
+        self._pool_size = base.whatif_pool_size if pool_size is None else pool_size
+        if self._pool_size < 1:
+            raise TuningError(f"pool_size must be at least 1, got {self._pool_size}")
+        self._executor = None
         self._prepared: dict[str, PreparedQuery] = {}
         self._cache: dict[tuple[str, frozenset[Index]], float] = {}
         self._derivation = CostDerivation()
         self._log: list[WhatIfCall] = []
         self._empty_costs: dict[str, float] = {}
+        self._stats = WhatIfStats()
 
     # ------------------------------------------------------------------ #
     # bookkeeping accessors
@@ -139,6 +238,16 @@ class WhatIfOptimizer:
     def derivation(self) -> CostDerivation:
         return self._derivation
 
+    @property
+    def stats(self) -> WhatIfStats:
+        """Live hot-path counters (cache hits/misses, wall time, …)."""
+        return self._stats
+
+    @property
+    def normalize_cache(self) -> bool:
+        """Whether relevant-index cache normalization is active."""
+        return self._normalize
+
     def prepared(self, query: Query) -> PreparedQuery:
         """The prepared form of ``query`` (bound and cached on first use)."""
         cached = self._prepared.get(query.qid)
@@ -147,6 +256,44 @@ class WhatIfOptimizer:
             cached = self._model.prepare(bound)
             self._prepared[query.qid] = cached
         return cached
+
+    def close(self) -> None:
+        """Shut down the batch-pricing thread pool, if one was created."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------ #
+    # key normalization and pricing helpers
+    # ------------------------------------------------------------------ #
+
+    def _norm_key(
+        self, prepared: PreparedQuery, key: frozenset[Index]
+    ) -> frozenset[Index]:
+        """``key ∩ relevant(q)`` under normalization, else ``key`` unchanged.
+
+        Returns the *same object* when nothing is dropped, so callers can
+        detect collapses with an identity check.
+        """
+        if self._normalize and key:
+            return prepared.relevant_subset(key)
+        return key
+
+    def _price(self, prepared: PreparedQuery, key: frozenset[Index]) -> float:
+        """One instrumented cost-model pricing."""
+        start = perf_counter()
+        cost = self._model.cost(prepared, key)
+        self._stats.cost_seconds += perf_counter() - start
+        self._stats.cost_evaluations += 1
+        return cost
+
+    def _commit_call(self, qid: str, key: frozenset[Index], cost: float) -> None:
+        """Record one counted call: cache, derivation store, and layout log."""
+        self._cache[(qid, key)] = cost
+        self._derivation.record(qid, key, cost)
+        self._log.append(
+            WhatIfCall(ordinal=len(self._log) + 1, qid=qid, configuration=key, cost=cost)
+        )
 
     # ------------------------------------------------------------------ #
     # costing
@@ -161,7 +308,7 @@ class WhatIfOptimizer:
         """
         cost = self._empty_costs.get(query.qid)
         if cost is None:
-            cost = self._model.cost(self.prepared(query), ())
+            cost = self._price(self.prepared(query), frozenset())
             self._empty_costs[query.qid] = cost
             self._derivation.record(query.qid, frozenset(), cost)
         return cost
@@ -173,10 +320,17 @@ class WhatIfOptimizer:
     def is_cached(self, query: Query, configuration) -> bool:
         """Whether ``whatif_cost`` for this pair would be free."""
         key = config_key(configuration)
-        return not key or (query.qid, key) in self._cache
+        if not key:
+            return True
+        norm = self._norm_key(self.prepared(query), key)
+        return not norm or (query.qid, norm) in self._cache
 
     def whatif_cost(self, query: Query, configuration) -> float:
         """``c(q, C)`` via a counted what-if call (cached pairs are free).
+
+        The call is counted iff the *normalized* key is uncached; the budget
+        is charged only after a successful costing, so a cost-model failure
+        never leaks a budget unit.
 
         Raises:
             BudgetExhaustedError: If the pair is uncached and the budget is
@@ -185,19 +339,24 @@ class WhatIfOptimizer:
         key = config_key(configuration)
         if not key:
             return self.empty_cost(query)
-        cache_key = (query.qid, key)
-        cached = self._cache.get(cache_key)
+        prepared = self.prepared(query)
+        norm = self._norm_key(prepared, key)
+        if not norm:
+            # Every index was irrelevant: the plan is the empty-config plan.
+            self._stats.cache_hits += 1
+            self._stats.normalized_hits += 1
+            return self.empty_cost(query)
+        cached = self._cache.get((query.qid, norm))
         if cached is not None:
+            self._stats.cache_hits += 1
+            if norm is not key:
+                self._stats.normalized_hits += 1
             return cached
+        self._meter.check()
+        cost = self._price(prepared, norm)
         self._meter.charge()
-        cost = self._model.cost(self.prepared(query), key)
-        self._cache[cache_key] = cost
-        self._derivation.record(query.qid, key, cost)
-        self._log.append(
-            WhatIfCall(
-                ordinal=len(self._log) + 1, qid=query.qid, configuration=key, cost=cost
-            )
-        )
+        self._stats.cache_misses += 1
+        self._commit_call(query.qid, norm, cost)
         return cost
 
     def trial_cost(
@@ -210,32 +369,203 @@ class WhatIfOptimizer:
         containing ``extra`` can improve on ``base_cost``.
         """
         if not self._meter.exhausted:
-            try:
-                return self.whatif_cost(query, trial)
-            except BudgetExhaustedError:
-                pass
-        cached = self._cache.get((query.qid, trial))
+            # Invariant: with budget remaining, whatif_cost cannot raise —
+            # cached pairs return before the meter is touched, and an
+            # uncached pair charges a meter we just observed unexhausted.
+            # The exhausted regime is handled explicitly below, so no
+            # try/except or post-hoc cache re-check is needed here.
+            return self.whatif_cost(query, trial)
+        norm = self._norm_key(self.prepared(query), trial)
+        if not norm:
+            return self.empty_cost(query)
+        cached = self._cache.get((query.qid, norm))
         if cached is not None:
+            self._stats.cache_hits += 1
+            if norm is not trial:
+                self._stats.normalized_hits += 1
             return cached
         return self._derivation.derived_cost_with_extra(
             query.qid, base_cost, trial, extra
         )
 
-    def derived_cost(self, query: Query, configuration) -> float:
-        """``d(q, C)`` per Equation 1 — free, uses only known what-if costs."""
-        return self._derivation.derived_cost(
-            query.qid, config_key(configuration), self.empty_cost(query)
-        )
+    # ------------------------------------------------------------------ #
+    # batched costing
+    # ------------------------------------------------------------------ #
 
-    def derived_workload_cost(self, configuration) -> float:
-        """``d(W, C)`` summed over the workload (weighted)."""
-        key = config_key(configuration)
-        return sum(q.weight * self.derived_cost(q, key) for q in self._workload)
+    def whatif_prefetch(self, pairs, *, limit: int | None = None) -> int:
+        """Price and commit uncached (query, configuration) pairs in bulk.
+
+        Pairs are normalized and deduplicated *in issue order*, truncated to
+        the remaining budget (and ``limit``, if given), priced — serially or
+        on the thread pool — and then committed to the cache, meter,
+        derivation store, and call log strictly in issue order. The result
+        is bit-identical to issuing :meth:`whatif_cost` sequentially for the
+        same pairs, for every pool size.
+
+        Unlike :meth:`whatif_cost` this never raises on exhaustion: it
+        prices what fits and leaves the rest uncached (FCFS semantics).
+
+        Args:
+            pairs: Iterable of ``(query, configuration)``.
+            limit: Optional extra cap on counted calls (slice-limited views
+                use this to enforce local allowances).
+
+        Returns:
+            Number of counted calls issued.
+        """
+        pending: list[tuple[str, PreparedQuery, frozenset[Index]]] = []
+        seen: set[tuple[str, frozenset[Index]]] = set()
+        for query, configuration in pairs:
+            key = config_key(configuration)
+            if not key:
+                continue
+            prepared = self.prepared(query)
+            norm = self._norm_key(prepared, key)
+            if not norm:
+                continue
+            cache_key = (query.qid, norm)
+            if cache_key in self._cache or cache_key in seen:
+                continue
+            seen.add(cache_key)
+            pending.append((query.qid, prepared, norm))
+
+        allowed = self._meter.remaining
+        if limit is not None:
+            allowed = limit if allowed is None else min(allowed, limit)
+        if allowed is not None and len(pending) > allowed:
+            del pending[allowed:]
+        if not pending:
+            return 0
+
+        costs = self._price_batch(pending)
+        for (qid, _, norm), cost in zip(pending, costs):
+            self._meter.charge()
+            self._stats.cache_misses += 1
+            self._commit_call(qid, norm, cost)
+        return len(pending)
+
+    def _price_batch(
+        self, pending: list[tuple[str, PreparedQuery, frozenset[Index]]]
+    ) -> list[float]:
+        """Price pending pairs, preserving order; pooled when configured."""
+        self._stats.batch_calls += 1
+        self._stats.batched_pairs += len(pending)
+        if self._pool_size > 1 and len(pending) > 1:
+            executor = self._ensure_executor()
+            start = perf_counter()
+            costs = list(
+                executor.map(lambda item: self._model.cost(item[1], item[2]), pending)
+            )
+            self._stats.cost_seconds += perf_counter() - start
+            self._stats.cost_evaluations += len(pending)
+            return costs
+        return [self._price(prepared, norm) for _, prepared, norm in pending]
+
+    def _ensure_executor(self):
+        if self._executor is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._pool_size, thread_name_prefix="whatif"
+            )
+        return self._executor
+
+    def whatif_workload_costs(
+        self, configurations, *, on_exhausted: str = "raise"
+    ) -> list[float]:
+        """``[c(W, C) for C in configurations]`` with batched pricing.
+
+        Uncached pairs are priced in one pass (issue order: queries in
+        workload order within each configuration, configurations in given
+        order) and committed deterministically, so the call-log layout
+        matches a sequential :meth:`whatif_workload_cost` loop exactly.
+
+        Args:
+            configurations: Iterable of configurations.
+            on_exhausted: ``"raise"`` mirrors the sequential loop — commit
+                the calls the budget admits, then raise at the first pair
+                that does not fit; ``"derived"`` substitutes the derived
+                cost for pairs past the budget (FCFS) and always returns.
+
+        Raises:
+            BudgetExhaustedError: In ``"raise"`` mode when the budget cannot
+                cover every uncached pair.
+        """
+        if on_exhausted not in ("raise", "derived"):
+            raise TuningError(f"unknown on_exhausted mode {on_exhausted!r}")
+        keys = [config_key(c) for c in configurations]
+        queries = list(self._workload)
+        self.whatif_prefetch((q, key) for key in keys for q in queries)
+
+        totals: list[float] = []
+        for key in keys:
+            total = 0.0
+            for query in queries:
+                if not key:
+                    total += query.weight * self.empty_cost(query)
+                    continue
+                norm = self._norm_key(self.prepared(query), key)
+                if not norm:
+                    self._stats.cache_hits += 1
+                    self._stats.normalized_hits += 1
+                    total += query.weight * self.empty_cost(query)
+                    continue
+                cached = self._cache.get((query.qid, norm))
+                if cached is not None:
+                    self._stats.cache_hits += 1
+                    if norm is not key:
+                        self._stats.normalized_hits += 1
+                    total += query.weight * cached
+                    continue
+                # Uncached past the budget: the prefetch priced everything
+                # the meter admitted, so this pair did not fit.
+                if on_exhausted == "raise":
+                    self._meter.check()
+                total += query.weight * self._derivation.derived_cost(
+                    query.qid, norm, self.empty_cost(query)
+                )
+            totals.append(total)
+        return totals
 
     def whatif_workload_cost(self, configuration) -> float:
         """``c(W, C)``: one counted call per query (cached pairs free)."""
+        return self.whatif_workload_costs([configuration])[0]
+
+    # ------------------------------------------------------------------ #
+    # derived (free) costing
+    # ------------------------------------------------------------------ #
+
+    def derived_cost(self, query: Query, configuration) -> float:
+        """``d(q, C)`` per Equation 1 — free, uses only known what-if costs."""
         key = config_key(configuration)
-        return sum(q.weight * self.whatif_cost(q, key) for q in self._workload)
+        norm = self._norm_key(self.prepared(query), key) if key else key
+        return self._derivation.derived_cost(query.qid, norm, self.empty_cost(query))
+
+    def derived_query_costs(self, configuration) -> list[float]:
+        """Per-query *weighted* derived costs, in workload order (one pass).
+
+        The batched form of :meth:`derived_cost` used by episode evaluation
+        hot loops; hoists the key normalization and store lookups out of the
+        per-query call chain.
+        """
+        key = config_key(configuration)
+        derivation = self._derivation
+        out: list[float] = []
+        for query in self._workload:
+            norm = self._norm_key(self.prepared(query), key) if key else key
+            out.append(
+                query.weight
+                * derivation.derived_cost(query.qid, norm, self.empty_cost(query))
+            )
+        return out
+
+    def derived_workload_cost(self, configuration) -> float:
+        """``d(W, C)`` summed over the workload (weighted)."""
+        return sum(self.derived_query_costs(configuration))
+
+    # ------------------------------------------------------------------ #
+    # evaluation-only access
+    # ------------------------------------------------------------------ #
 
     def true_cost(self, query: Query, configuration) -> float:
         """Uncounted ground-truth cost — for *evaluation only*, never search.
@@ -246,10 +576,14 @@ class WhatIfOptimizer:
         key = config_key(configuration)
         if not key:
             return self.empty_cost(query)
-        cached = self._cache.get((query.qid, key))
+        prepared = self.prepared(query)
+        norm = self._norm_key(prepared, key)
+        if not norm:
+            return self.empty_cost(query)
+        cached = self._cache.get((query.qid, norm))
         if cached is not None:
             return cached
-        return self._model.cost(self.prepared(query), key)
+        return self._price(prepared, norm)
 
     def explain(self, query: Query, configuration):
         """The plan behind a what-if cost (uncounted).
@@ -258,8 +592,12 @@ class WhatIfOptimizer:
         tuners that featurize on plan structure (e.g. the DBA-bandits
         baseline attributing rewards to the indexes a plan used) read it
         from here after paying for the call via :meth:`whatif_cost`.
+        Irrelevant indexes never appear in plans, so normalization leaves
+        the returned plan unchanged.
         """
-        return self._model.explain(self.prepared(query), config_key(configuration))
+        key = config_key(configuration)
+        norm = self._norm_key(self.prepared(query), key) if key else key
+        return self._model.explain(self.prepared(query), norm)
 
     def true_workload_cost(self, configuration) -> float:
         """Uncounted ground-truth workload cost (evaluation only)."""

@@ -6,7 +6,7 @@ import abc
 from dataclasses import dataclass, field
 
 from repro.catalog import Index
-from repro.config import TuningConstraints
+from repro.config import ReproConfig, TuningConstraints
 from repro.exceptions import BudgetExhaustedError, TuningError
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.candidates import CandidateGenerator
@@ -105,6 +105,7 @@ class Tuner(abc.ABC):
         budget: int | None,
         constraints: TuningConstraints | None = None,
         candidates: list[Index] | None = None,
+        optimizer_config: ReproConfig | None = None,
     ) -> TuningResult:
         """Run the tuner.
 
@@ -117,6 +118,8 @@ class Tuner(abc.ABC):
                 no storage constraint).
             candidates: Candidate indexes ``I``; generated from the workload
                 when omitted.
+            optimizer_config: Engine knobs for the what-if optimizer (cache
+                normalization, batch pool size); never affects outcomes.
 
         Returns:
             The tuning result, carrying the optimizer for evaluation.
@@ -135,7 +138,7 @@ class Tuner(abc.ABC):
                     f"{index.table!r} missing from schema "
                     f"{workload.schema.name!r}"
                 )
-        optimizer = WhatIfOptimizer(workload, budget=budget)
+        optimizer = WhatIfOptimizer(workload, budget=budget, config=optimizer_config)
         baseline = optimizer.empty_workload_cost()
         configuration, history = self._enumerate(optimizer, candidates, constraints)
         estimated = optimizer.derived_workload_cost(configuration)

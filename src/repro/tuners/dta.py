@@ -171,5 +171,16 @@ class DTATuner(Tuner):
                     )
                 return self._inner.trial_cost(query, base_cost, trial, extra)
 
+            def whatif_prefetch(self, pairs, *, limit=None):
+                # Cap batched pricing to the slice's remaining allowance;
+                # __getattr__ forwarding alone would let a batch spend the
+                # whole global budget on one query.
+                slack = slice_budget - (self._inner.calls_used - start)
+                if slack <= 0:
+                    return 0
+                if limit is not None:
+                    slack = min(slack, limit)
+                return self._inner.whatif_prefetch(pairs, limit=slack)
+
         proxy = _SliceLimitedOptimizer(optimizer)
         return greedy_enumerate(proxy, local, constraints, workload=singleton)

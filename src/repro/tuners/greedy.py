@@ -80,6 +80,23 @@ def greedy_enumerate(
                 ]
                 for index in pool
             }
+        # Batch-price this step's counted calls up front, in the exact
+        # (index, query) order the trial loop below would issue them.
+        # Prefetch dedupes, truncates to the remaining budget, and commits
+        # in issue order, so the FCFS layout is byte-identical to the
+        # sequential loop — the loop then reads everything from the cache.
+        if not optimizer.meter.exhausted:
+            optimizer.whatif_prefetch(
+                (query, best_config | {index})
+                for index in pool
+                if (informative.get(index) if informative is not None else relevant[index])
+                and constraints.admits(
+                    best_config, extra_bytes=index.estimated_size_bytes
+                )
+                for query in (
+                    informative[index] if informative is not None else relevant[index]
+                )
+            )
         step_config = best_config
         step_cost = best_cost
         for index in pool:
@@ -104,7 +121,10 @@ def greedy_enumerate(
         (added,) = step_config - best_config
         best_config = step_config
         # Refresh per-query costs: only queries touching the added index's
-        # table can have changed.
+        # table can have changed. Same batching: prefetch in loop order so
+        # the FCFS truncation point matches the sequential evaluation.
+        if not optimizer.meter.exhausted:
+            optimizer.whatif_prefetch((query, best_config) for query in relevant[added])
         for query in relevant[added]:
             current[query.qid] = evaluated_cost(optimizer, query, best_config)
         best_cost = sum(q.weight * current[q.qid] for q in queries)

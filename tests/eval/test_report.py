@@ -85,6 +85,9 @@ class TestJSONExport:
             "improvement_std",
             "calls_used",
             "seconds",
+            "cache_hit_rate",
+            "normalized_hits",
+            "cost_seconds",
             "seeds",
         }
 

@@ -6,15 +6,23 @@ this by construction; these hypothesis tests verify it holds over random
 queries and random configuration pairs ``C1 ⊆ C2``.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.catalog import Index
 from repro.optimizer.cost_model import CostModel
+from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload import CandidateGenerator, bind_query
 
 
 def _candidate_pool(schema, workload):
     return CandidateGenerator(schema).for_workload(workload)
+
+
+@pytest.fixture(scope="module")
+def tpch_whatif(tpch):
+    """A shared unlimited-budget optimizer so memo tables accumulate."""
+    return WhatIfOptimizer(tpch), _candidate_pool(tpch.schema, tpch)[:30]
 
 
 @settings(max_examples=60, deadline=None)
@@ -47,6 +55,31 @@ def test_adding_single_index_never_hurts(data, star_schema, toy_workload, toy_ca
 
     prepared = model.prepare(bind_query(star_schema, query.statement, query.qid))
     assert model.cost(prepared, base | {extra}) <= model.cost(prepared, base) + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_monotone_through_memoized_whatif_path(data, tpch, tpch_whatif):
+    """Monotonicity survives the memoized/normalized what-if fast path.
+
+    Random nested pairs C1 ⊆ C2 over the TPC-H candidate pool, costed via
+    the shared WhatIfOptimizer — so the per-(access, index) option memos,
+    the prepare-time cost constants, and relevant-set cache normalization
+    are all exercised across examples.
+    """
+    optimizer, pool = tpch_whatif
+    query = data.draw(st.sampled_from(tpch.queries))
+    shuffled = data.draw(st.permutations(pool))
+    small_size = data.draw(st.integers(min_value=0, max_value=5))
+    extra = data.draw(st.integers(min_value=0, max_value=5))
+    small = frozenset(shuffled[:small_size])
+    large = small | frozenset(shuffled[small_size : small_size + extra])
+
+    large_cost = optimizer.whatif_cost(query, large)
+    small_cost = optimizer.whatif_cost(query, small)
+    assert large_cost <= small_cost + 1e-9
+    # The free derivation stays a sound upper bound under normalization.
+    assert optimizer.derived_cost(query, large) >= large_cost - 1e-9
 
 
 @settings(max_examples=20, deadline=None)
