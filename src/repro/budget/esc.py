@@ -1,0 +1,98 @@
+"""Esc-style early stopping (after *Esc: An Early-Stopping Checker for
+Budget-aware Index Tuning*, see PAPERS.md).
+
+Budget-aware tuners typically realise most of their improvement in the first
+fraction of the budget; the remaining calls refine the tail of the
+improvement-vs-calls curve. :class:`EarlyStopPolicy` watches that curve at
+the session's checkpoints and halts the whole session — every subsequent
+counted call is denied and :attr:`~EarlyStopPolicy.exhausted` flips to
+``True`` — once the curve plateaus: the gain over the last ``patience``
+checkpoints fell below ``min_delta`` percentage points.
+
+It wraps any other :class:`~repro.budget.policy.BudgetPolicy` (FCFS by
+default, Wii for the combined ``esc+wii`` discipline), so stopping composes
+with any allocation strategy. Tuners need no special support: they already
+consult :attr:`~repro.budget.policy.BudgetPolicy.exhausted` and fall back to
+derived costs on denial, exactly as in the post-budget FCFS regime.
+"""
+
+from __future__ import annotations
+
+from repro.budget.policy import BudgetPolicy, DelegatingPolicy
+from repro.exceptions import TuningError
+
+
+class EarlyStopPolicy(DelegatingPolicy):
+    """Halt the session when the improvement-vs-calls curve plateaus.
+
+    Args:
+        inner: The allocation policy supplying grant decisions until the
+            stop fires.
+        patience: How many checkpoints back the gain is measured over.
+        min_delta: Minimum improvement gain (percentage points) the window
+            must show; anything less is a plateau.
+        min_checkpoints: Never stop before this many progress observations
+            (guards against stopping on a flat warm-up prefix).
+    """
+
+    name = "esc"
+
+    def __init__(
+        self,
+        inner: BudgetPolicy,
+        patience: int = 3,
+        min_delta: float = 0.1,
+        min_checkpoints: int = 2,
+    ):
+        if patience < 1:
+            raise TuningError(f"patience must be at least 1, got {patience}")
+        if min_delta < 0:
+            raise TuningError(f"min_delta must be non-negative, got {min_delta}")
+        super().__init__(inner)
+        self._patience = patience
+        self._min_delta = min_delta
+        self._min_checkpoints = max(min_checkpoints, patience + 1)
+        self._curve: list[tuple[int, float]] = []
+        self._stop_reason: str | None = None
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def curve(self) -> list[tuple[int, float]]:
+        """The observed ``(calls_used, improvement%)`` checkpoints (a copy)."""
+        return list(self._curve)
+
+    @property
+    def stopped(self) -> bool:
+        return self._stop_reason is not None
+
+    @property
+    def stop_reason(self) -> str | None:
+        return self._stop_reason
+
+    @property
+    def wants_progress(self) -> bool:
+        """Checkpoints must compute the improvement for the plateau check."""
+        return True
+
+    @property
+    def exhausted(self) -> bool:
+        return self.stopped or self._inner.exhausted
+
+    def admits(self, qid: str) -> bool:
+        return not self.stopped and self._inner.admits(qid)
+
+    def on_checkpoint(self, calls_used: int, improvement: float | None) -> None:
+        super().on_checkpoint(calls_used, improvement)
+        if improvement is None or self.stopped:
+            return
+        self._curve.append((calls_used, improvement))
+        if len(self._curve) < self._min_checkpoints:
+            return
+        gain = self._curve[-1][1] - self._curve[-1 - self._patience][1]
+        if gain < self._min_delta:
+            self._stop_reason = (
+                f"improvement plateau: {gain:.3f}pp gain over the last "
+                f"{self._patience} checkpoints (< {self._min_delta}pp) "
+                f"after {calls_used} calls"
+            )

@@ -1,0 +1,62 @@
+"""The what-if call meter: raw budget arithmetic, no allocation policy.
+
+:class:`BudgetMeter` counts counted what-if calls against the budget ``B``.
+It is deliberately policy-free — *whether* a call may be charged is decided
+by a :class:`~repro.budget.policy.BudgetPolicy`; the meter only guarantees
+the global invariant that no more than ``B`` calls are ever consumed.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import BudgetExhaustedError, TuningError
+
+
+class BudgetMeter:
+    """Counts what-if calls against a fixed budget.
+
+    Attributes:
+        budget: Total calls allowed (``None`` = unlimited).
+    """
+
+    def __init__(self, budget: int | None):
+        if budget is not None and budget < 0:
+            raise TuningError(f"budget must be non-negative, got {budget}")
+        self.budget = budget
+        self._spent = 0
+
+    @property
+    def spent(self) -> int:
+        """Number of counted calls so far."""
+        return self._spent
+
+    @property
+    def remaining(self) -> int | None:
+        """Calls left, or ``None`` when unlimited."""
+        if self.budget is None:
+            return None
+        return max(0, self.budget - self._spent)
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether no further counted calls are allowed."""
+        return self.budget is not None and self._spent >= self.budget
+
+    def check(self) -> None:
+        """Raise without consuming anything if the budget is spent.
+
+        Raises:
+            BudgetExhaustedError: If the budget is already spent.
+        """
+        if self.exhausted:
+            raise BudgetExhaustedError(
+                f"what-if budget of {self.budget} calls exhausted"
+            )
+
+    def charge(self) -> None:
+        """Consume one call.
+
+        Raises:
+            BudgetExhaustedError: If the budget is already spent.
+        """
+        self.check()
+        self._spent += 1

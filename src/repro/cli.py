@@ -17,8 +17,10 @@ Examples:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from repro.budget.policy import POLICY_NAMES
 from repro.config import MCTSConfig, TuningConstraints
 from repro.eval.timemodel import WhatIfTimeModel
 from repro.exceptions import ReproError
@@ -85,6 +87,12 @@ def _build_parser() -> argparse.ArgumentParser:
                       choices=("epsilon_greedy", "uct", "boltzmann"))
     tune.add_argument("--rollout", default="myopic", choices=("myopic", "random"))
     tune.add_argument("--extraction", default="bg", choices=("bg", "bce"))
+    tune.add_argument("--budget-policy", default="fcfs", choices=POLICY_NAMES,
+                      help="budget discipline (default fcfs; wii/esc change "
+                           "which calls are granted)")
+    tune.add_argument("--trace", default=None, metavar="PATH",
+                      help="write the session event stream as JSON lines to "
+                           "PATH ('-' for stdout)")
 
     explain = sub.add_parser("explain", help="show a hypothetical plan")
     explain.add_argument("--workload", required=True, choices=available_workloads())
@@ -116,6 +124,19 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_trace(result, destination: str) -> None:
+    """Dump the session event stream as JSON lines (``-`` = stdout)."""
+    lines = [json.dumps(event.to_json()) for event in result.events]
+    if destination == "-":
+        for line in lines:
+            print(line)
+        return
+    with open(destination, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    print(f"trace: {len(lines)} events -> {destination}")
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload, scale=args.scale)
     constraints = TuningConstraints(
@@ -138,12 +159,21 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             f"(~{model.mean_call_seconds:.2f}s/call)"
         )
     else:
-        result = tuner.tune(workload, budget=args.budget, constraints=constraints)
+        result = tuner.tune(
+            workload,
+            budget=args.budget,
+            constraints=constraints,
+            budget_policy=args.budget_policy,
+        )
 
+    if args.trace is not None:
+        _write_trace(result, args.trace)
     print(
         f"{result.tuner}: {result.true_improvement():.1f}% improvement, "
         f"{result.calls_used} what-if calls used"
     )
+    if result.stop_reason is not None:
+        print(f"stopped early: {result.stop_reason}")
     if result.optimizer is not None:
         stats = result.optimizer.stats
         print(

@@ -20,13 +20,23 @@ from dataclasses import dataclass
 from repro.exceptions import ConstraintError
 
 
+#: Budget-policy names accepted by :attr:`ReproConfig.budget_policy`.
+#: Mirrors :data:`repro.budget.policy.POLICY_NAMES` (kept literal here so
+#: the config layer never imports the budget package — the budget package
+#: imports this module).
+_BUDGET_POLICY_NAMES = ("fcfs", "wii", "esc", "esc+wii")
+
+
 @dataclass(frozen=True)
 class ReproConfig:
-    """Engine/runtime knobs — performance plumbing, not paper semantics.
+    """Engine/runtime knobs plus the session's budget-policy selection.
 
-    These switch *how fast* the simulated what-if optimizer runs, never
-    *what* it computes: every combination of knobs produces bit-identical
-    costs, budget accounting, and call-log layouts.
+    The engine knobs (``normalize_cache``, ``whatif_pool_size``) switch
+    *how fast* the simulated what-if optimizer runs, never *what* it
+    computes: every combination produces bit-identical costs, budget
+    accounting, and call-log layouts. The budget-policy knobs are the one
+    exception — they select the *semantic* budget discipline of the
+    session (FCFS is the paper's default and the bit-identical baseline).
 
     Attributes:
         normalize_cache: Normalise every what-if cache key to the query's
@@ -40,20 +50,57 @@ class ReproConfig:
             and log ordinals are committed in issue order, so the pool size
             never affects outcomes — only wall-clock (and only when the
             cost model releases the GIL, e.g. a native backend).
+        budget_policy: Default budget discipline for tuning sessions —
+            ``"fcfs"`` (Section 4.2.1, default), ``"wii"`` (per-query
+            slices with dynamic reallocation), ``"esc"`` (early stop over
+            FCFS), or ``"esc+wii"``. **Semantic knob**: non-FCFS policies
+            change which calls are granted and therefore the outcomes.
+        wii_release_rate: Fraction of an idle query's unused slice released
+            to the shared pool at each checkpoint (Wii policies).
+        esc_patience: Checkpoints without sufficient gain before the
+            early-stop policy halts the session.
+        esc_min_delta: Minimum improvement gain (percentage points) over
+            the patience window; less is a plateau.
     """
 
     normalize_cache: bool = True
     whatif_pool_size: int = 1
+    budget_policy: str = "fcfs"
+    wii_release_rate: float = 0.5
+    esc_patience: int = 3
+    esc_min_delta: float = 0.1
 
     def __post_init__(self) -> None:
         if self.whatif_pool_size < 1:
             raise ConstraintError(
                 f"whatif_pool_size must be at least 1, got {self.whatif_pool_size}"
             )
+        if self.budget_policy not in _BUDGET_POLICY_NAMES:
+            raise ConstraintError(
+                f"unknown budget_policy {self.budget_policy!r}; "
+                f"expected one of {_BUDGET_POLICY_NAMES}"
+            )
+        if not 0.0 < self.wii_release_rate <= 1.0:
+            raise ConstraintError(
+                f"wii_release_rate must lie in (0, 1], got {self.wii_release_rate}"
+            )
+        if self.esc_patience < 1:
+            raise ConstraintError(
+                f"esc_patience must be at least 1, got {self.esc_patience}"
+            )
+        if self.esc_min_delta < 0:
+            raise ConstraintError(
+                f"esc_min_delta must be non-negative, got {self.esc_min_delta}"
+            )
 
     @classmethod
     def from_env(cls) -> "ReproConfig":
-        """Build a config from ``REPRO_NORMALIZE_CACHE`` / ``REPRO_WHATIF_POOL``."""
+        """Build a config from the ``REPRO_*`` environment knobs.
+
+        Recognised: ``REPRO_NORMALIZE_CACHE``, ``REPRO_WHATIF_POOL``,
+        ``REPRO_BUDGET_POLICY``, ``REPRO_WII_RELEASE_RATE``,
+        ``REPRO_ESC_PATIENCE``, ``REPRO_ESC_MIN_DELTA``.
+        """
         normalize = os.environ.get("REPRO_NORMALIZE_CACHE", "1") not in (
             "0",
             "false",
@@ -66,7 +113,37 @@ class ReproConfig:
             raise ConstraintError(
                 f"REPRO_WHATIF_POOL must be an integer, got {raw_pool!r}"
             ) from None
-        return cls(normalize_cache=normalize, whatif_pool_size=pool)
+
+        def _float_env(name: str, default: float) -> float:
+            raw = os.environ.get(name)
+            if raw is None:
+                return default
+            try:
+                return float(raw)
+            except ValueError:
+                raise ConstraintError(
+                    f"{name} must be a number, got {raw!r}"
+                ) from None
+
+        def _int_env(name: str, default: int) -> int:
+            raw = os.environ.get(name)
+            if raw is None:
+                return default
+            try:
+                return int(raw)
+            except ValueError:
+                raise ConstraintError(
+                    f"{name} must be an integer, got {raw!r}"
+                ) from None
+
+        return cls(
+            normalize_cache=normalize,
+            whatif_pool_size=pool,
+            budget_policy=os.environ.get("REPRO_BUDGET_POLICY", "fcfs"),
+            wii_release_rate=_float_env("REPRO_WII_RELEASE_RATE", 0.5),
+            esc_patience=_int_env("REPRO_ESC_PATIENCE", 3),
+            esc_min_delta=_float_env("REPRO_ESC_MIN_DELTA", 0.1),
+        )
 
 
 @dataclass(frozen=True)

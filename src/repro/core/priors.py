@@ -19,7 +19,6 @@ from __future__ import annotations
 import random
 
 from repro.catalog import Index
-from repro.exceptions import BudgetExhaustedError
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.candidates import candidates_for_query
 from repro.workload.query import Query
@@ -129,11 +128,17 @@ def compute_singleton_priors(
         query = selector.next_query(eligible)
         index = _select_index(index_selection, optimizer, pending[query.qid], rng)
         pending[query.qid].remove(index)
-        before = optimizer.calls_used
-        try:
-            singleton_cost = optimizer.whatif_cost(query, frozenset({index}))
-        except BudgetExhaustedError:
+        singleton = frozenset({index})
+        # Pre-check after the RNG draw and the pending removal so the RNG
+        # consumption order matches the historical try/except flow exactly;
+        # cached pairs stay free and keep the loop going even when denied.
+        if not (
+            optimizer.policy.admits(query.qid)
+            or optimizer.is_cached(query, singleton)
+        ):
             break
+        before = optimizer.calls_used
+        singleton_cost = optimizer.whatif_cost(query, singleton)
         spent += optimizer.calls_used - before
         empty_cost = optimizer.empty_cost(query)
         workload_costs[index] += query.weight * (singleton_cost - empty_cost)

@@ -28,31 +28,47 @@ from repro.core.selection import (
     SelectionPolicy,
     UCTPolicy,
 )
-from repro.exceptions import BudgetExhaustedError
+from repro.exceptions import TuningError
 from repro.optimizer.whatif import WhatIfOptimizer
+from repro.tuners.base import TuningSession
 
 
 class MCTSSearch:
     """One MCTS tuning session over a fixed workload and candidate set.
 
     Args:
-        optimizer: Budget-metered what-if interface (owns the budget ``B``).
+        optimizer: Bare what-if interface (wrapped into a session;
+            back-compat — mutually exclusive with ``session``).
         candidates: Candidate indexes ``I``.
         constraints: Cardinality/storage constraints ``Γ``.
         config: Policy knobs (defaults reproduce the paper's best setting).
         seed: RNG seed; MCTS is stochastic and the paper reports the mean of
             five seeds.
+        session: The tuning session to draw budget through (preferred).
     """
 
     def __init__(
         self,
-        optimizer: WhatIfOptimizer,
-        candidates: list[Index],
-        constraints: TuningConstraints,
+        optimizer: WhatIfOptimizer | None = None,
+        candidates: list[Index] | None = None,
+        constraints: TuningConstraints | None = None,
         config: MCTSConfig | None = None,
         seed: int | None = None,
+        *,
+        session: TuningSession | None = None,
     ):
-        self._optimizer = optimizer
+        if session is None:
+            if optimizer is None:
+                raise TuningError("MCTSSearch needs a session or an optimizer")
+            session = TuningSession.wrap(optimizer)
+        elif optimizer is not None:
+            raise TuningError("pass either session or optimizer, not both")
+        if candidates is None:
+            candidates = session.candidates
+        if constraints is None:
+            constraints = session.constraints
+        self._session = session
+        self._optimizer = session.optimizer
         self._constraints = constraints
         self._config = config or MCTSConfig()
         self._rng = random.Random(0 if seed is None else seed)
@@ -111,11 +127,13 @@ class MCTSSearch:
             ``(configuration, history)`` — the extracted best configuration
             and the chronological ``(calls_used, best_explored)`` checkpoints.
         """
+        session = self._session
         optimizer = self._optimizer
-        meter = optimizer.meter
 
         if self._config.use_priors:
+            session.phase("priors")
             self._priors = self._compute_priors()
+        session.phase("episodes")
 
         self._root = TreeNode.create(
             self._mdp.initial_state,
@@ -125,7 +143,9 @@ class MCTSSearch:
         self._rollout = RolloutPolicy(self._config, self._constraints, self._priors)
         tracker = BestExploredTracker(optimizer, self._constraints)
         baseline = optimizer.empty_workload_cost()
-        history: list[tuple[int, frozenset[Index]]] = []
+        # Run-local slice of the session history: run() keeps returning its
+        # own checkpoints while the session accumulates the full stream.
+        history_start = len(session.history)
 
         # Seed the explored set with the best prior singleton so BCE never
         # returns the empty configuration when priors found improvements.
@@ -136,20 +156,20 @@ class MCTSSearch:
                     singleton, optimizer.derived_workload_cost(singleton)
                 )
         if tracker.best:
-            history.append((meter.spent, tracker.best))
+            session.checkpoint(tracker.best)
 
-        budget = meter.budget
+        budget = session.budget
         episode_cap = max(1000, 20 * budget) if budget is not None else 1000
         stall_limit = 2000  # consecutive episodes without budget consumption
         stalled = 0
         self._episodes = 0
-        while self._episodes < episode_cap and not meter.exhausted:
+        while self._episodes < episode_cap and not session.exhausted:
             self._episodes += 1
             path: list[tuple[TreeNode, Index]] = []
-            spent_before = meter.spent
+            spent_before = session.calls_used
             configuration = self._sample_configuration(self._root, path)
             cost = self._evaluate_with_budget(configuration)
-            if meter.spent == spent_before:
+            if session.calls_used == spent_before:
                 stalled += 1
                 if stalled >= stall_limit:
                     break
@@ -164,8 +184,9 @@ class MCTSSearch:
                 for index in configuration:
                     self._amaf.setdefault(index, ActionStats()).update(reward)
             if tracker.observe(configuration, cost):
-                history.append((meter.spent, tracker.best))
+                session.checkpoint(tracker.best)
 
+        session.phase("extraction")
         tracker.refresh()
         best = extract_best(
             self._config.extraction,
@@ -175,13 +196,13 @@ class MCTSSearch:
             tracker,
             hybrid=self._config.hybrid_extraction,
         )
-        history.append((meter.spent, best))
-        return best, history
+        session.checkpoint(best)
+        return best, session.history[history_start:]
 
     # ------------------------------------------------------------------ #
 
     def _compute_priors(self) -> dict[Index, float]:
-        budget = self._optimizer.meter.budget
+        budget = self._session.budget
         pairs = prior_pair_count(self._optimizer, self._candidates)
         if budget is None:
             sub_budget = pairs
@@ -248,9 +269,15 @@ class MCTSSearch:
         if not configuration:
             return total
         target = self._pick_episode_query(workload, derived)
-        try:
-            exact = optimizer.whatif_cost(target, configuration)
-        except BudgetExhaustedError:
+        if not (
+            optimizer.policy.admits(target.qid)
+            or optimizer.is_cached(target, configuration)
+        ):
+            # Denied: return the all-derived total unchanged. Substituting
+            # derived[i] back in would perturb the float sum (IEEE addition
+            # is not associative) and break bit-identity with the FCFS
+            # baseline, so the short-circuit is load-bearing.
             return total
+        exact = optimizer.whatif_cost(target, configuration)
         index = workload.index(target)
         return total - derived[index] + target.weight * exact

@@ -44,6 +44,11 @@ class RunRecord:
         normalized_hits: Mean free lookups owed to relevant-index cache
             normalization (calls a whole-key cache would have counted).
         cost_seconds: Mean wall-clock spent inside the cost model.
+        budget_policy: The budget discipline the cell ran under.
+        event_counts: Summed session event counts by kind across seeds
+            (``whatif_call``, ``budget_deny``, ``checkpoint``, ``stop``, …).
+        stop_reasons: Early-stop reasons of the seeds a policy halted
+            (empty when every run spent its full budget).
         seeds: Seeds used.
         results: The underlying per-seed results (for convergence plots).
     """
@@ -59,6 +64,9 @@ class RunRecord:
     cache_hit_rate: float = 0.0
     normalized_hits: float = 0.0
     cost_seconds: float = 0.0
+    budget_policy: str = "fcfs"
+    event_counts: dict[str, int] = field(default_factory=dict)
+    stop_reasons: list[str] = field(default_factory=list)
     seeds: list[int] = field(default_factory=list)
     results: list[TuningResult] = field(default_factory=list, repr=False)
 
@@ -107,8 +115,15 @@ class ExperimentRunner:
         budget: int,
         constraints: TuningConstraints,
         stochastic: bool = True,
+        budget_policy: str | None = None,
     ) -> RunRecord:
-        """Run one (tuner, K, B) cell, averaging seeds when stochastic."""
+        """Run one (tuner, K, B) cell, averaging seeds when stochastic.
+
+        Args:
+            budget_policy: Optional budget-discipline name forwarded to
+                :meth:`~repro.tuners.base.Tuner.tune` (``None`` keeps the
+                config default, FCFS).
+        """
         seeds = self._seeds if stochastic else self._seeds[:1]
         improvements: list[float] = []
         calls: list[float] = []
@@ -116,6 +131,8 @@ class ExperimentRunner:
         hit_rates: list[float] = []
         norm_hits: list[float] = []
         cost_secs: list[float] = []
+        event_counts: dict[str, int] = {}
+        stop_reasons: list[str] = []
         results: list[TuningResult] = []
         tuner_name = ""
         for seed in seeds:
@@ -127,10 +144,15 @@ class ExperimentRunner:
                 budget=budget,
                 constraints=constraints,
                 candidates=self._candidates,
+                budget_policy=budget_policy,
             )
             elapsed.append(time.perf_counter() - start)
             improvements.append(result.true_improvement())
             calls.append(float(result.calls_used))
+            for event in result.events:
+                event_counts[event.kind] = event_counts.get(event.kind, 0) + 1
+            if result.stop_reason is not None:
+                stop_reasons.append(result.stop_reason)
             if result.optimizer is not None:
                 stats = result.optimizer.stats
                 hit_rates.append(stats.hit_rate)
@@ -155,6 +177,9 @@ class ExperimentRunner:
             cache_hit_rate=_mean(hit_rates),
             normalized_hits=_mean(norm_hits),
             cost_seconds=_mean(cost_secs),
+            budget_policy=budget_policy or "fcfs",
+            event_counts=event_counts,
+            stop_reasons=stop_reasons,
             seeds=list(seeds),
             results=results,
         )
@@ -165,6 +190,7 @@ class ExperimentRunner:
         budgets: list[int],
         k_values: list[int],
         max_storage_bytes: int | None = None,
+        budget_policy: str | None = None,
     ) -> list[RunRecord]:
         """Run the full grid.
 
@@ -174,6 +200,8 @@ class ExperimentRunner:
             k_values: Cardinality constraints (one sub-figure per value).
             max_storage_bytes: Optional storage constraint applied to all
                 cells.
+            budget_policy: Optional budget-discipline name applied to all
+                cells (``None`` keeps the config default, FCFS).
 
         Returns:
             Records ordered by (K, budget, insertion order of factories).
@@ -186,6 +214,12 @@ class ExperimentRunner:
             for budget in budgets:
                 for _, (factory, stochastic) in factories.items():
                     records.append(
-                        self.run_cell(factory, budget, constraints, stochastic)
+                        self.run_cell(
+                            factory,
+                            budget,
+                            constraints,
+                            stochastic,
+                            budget_policy=budget_policy,
+                        )
                     )
         return records

@@ -8,9 +8,13 @@ mirrors the AutoAdmin "what-if" API [Chaudhuri & Narasayya, SIGMOD'98]:
   cache makes repeats free, as in real tuners);
 * :meth:`derived_cost` — the free upper-bound approximation of Section 3.1,
   delegated to :class:`~repro.optimizer.derivation.CostDerivation`;
-* a :class:`BudgetMeter` that raises :class:`BudgetExhaustedError` when the
-  budget is spent, and a call log that records the layout of the budget
-  allocation matrix actually realised by a tuning run.
+* a :class:`~repro.budget.policy.BudgetPolicy` (FCFS over a
+  :class:`~repro.budget.meter.BudgetMeter` by default) that every *counted*
+  call is authorised through, and a call log that records the layout of the
+  budget allocation matrix actually realised by a tuning run. Budget
+  accounting itself lives in :mod:`repro.budget`; the optimizer only asks
+  the policy ``admits``/``charge`` questions and reports committed calls to
+  the session event stream when one is attached.
 
 Two layers make the simulated optimizer fast without touching paper
 semantics:
@@ -40,9 +44,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from time import perf_counter
 
+from repro.budget.events import EventLog
+from repro.budget.meter import BudgetMeter
+from repro.budget.policy import BudgetPolicy, FCFSPolicy
 from repro.catalog import Index
 from repro.config import ReproConfig
-from repro.exceptions import BudgetExhaustedError, TuningError
+from repro.exceptions import TuningError
 from repro.optimizer.cost_model import CostModel
 from repro.optimizer.derivation import CostDerivation
 from repro.optimizer.prepared import PreparedQuery
@@ -56,57 +63,6 @@ ConfigKey = frozenset
 def config_key(configuration) -> frozenset[Index]:
     """Normalise any iterable of indexes into a hashable configuration key."""
     return frozenset(configuration)
-
-
-class BudgetMeter:
-    """Counts what-if calls against a fixed budget.
-
-    Attributes:
-        budget: Total calls allowed (``None`` = unlimited).
-    """
-
-    def __init__(self, budget: int | None):
-        if budget is not None and budget < 0:
-            raise TuningError(f"budget must be non-negative, got {budget}")
-        self.budget = budget
-        self._spent = 0
-
-    @property
-    def spent(self) -> int:
-        """Number of counted calls so far."""
-        return self._spent
-
-    @property
-    def remaining(self) -> int | None:
-        """Calls left, or ``None`` when unlimited."""
-        if self.budget is None:
-            return None
-        return max(0, self.budget - self._spent)
-
-    @property
-    def exhausted(self) -> bool:
-        """Whether no further counted calls are allowed."""
-        return self.budget is not None and self._spent >= self.budget
-
-    def check(self) -> None:
-        """Raise without consuming anything if the budget is spent.
-
-        Raises:
-            BudgetExhaustedError: If the budget is already spent.
-        """
-        if self.exhausted:
-            raise BudgetExhaustedError(
-                f"what-if budget of {self.budget} calls exhausted"
-            )
-
-    def charge(self) -> None:
-        """Consume one call.
-
-        Raises:
-            BudgetExhaustedError: If the budget is already spent.
-        """
-        self.check()
-        self._spent += 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -182,6 +138,12 @@ class WhatIfOptimizer:
             :meth:`~repro.config.ReproConfig.from_env` so the
             ``REPRO_NORMALIZE_CACHE`` / ``REPRO_WHATIF_POOL`` environment
             knobs apply to any run that does not pass an explicit config.
+        policy: Budget policy authorising counted calls. Defaults to
+            :class:`~repro.budget.policy.FCFSPolicy` over ``budget`` (the
+            pre-session discipline, bit-identical to a bare meter).
+            Mutually exclusive with ``budget``.
+        events: Optional session event stream; committed counted calls are
+            reported as ``whatif_call`` events.
     """
 
     def __init__(
@@ -193,11 +155,21 @@ class WhatIfOptimizer:
         normalize_cache: bool | None = None,
         pool_size: int | None = None,
         config: ReproConfig | None = None,
+        policy: BudgetPolicy | None = None,
+        events: EventLog | None = None,
     ):
         base = config or ReproConfig.from_env()
         self._workload = workload
         self._model = cost_model or CostModel(workload.schema)
-        self._meter = BudgetMeter(budget)
+        if policy is not None and budget is not None:
+            raise TuningError(
+                "pass either budget or policy to WhatIfOptimizer, not both "
+                "(the policy owns the meter)"
+            )
+        self._policy = policy if policy is not None else FCFSPolicy(BudgetMeter(budget))
+        self._events = events
+        if events is not None and policy is None:
+            self._policy.attach(events)
         self._normalize = (
             base.normalize_cache if normalize_cache is None else normalize_cache
         )
@@ -222,12 +194,33 @@ class WhatIfOptimizer:
 
     @property
     def meter(self) -> BudgetMeter:
-        return self._meter
+        """The global budget meter (owned by the active policy)."""
+        return self._policy.meter
+
+    @property
+    def policy(self) -> BudgetPolicy:
+        """The budget policy admitting counted calls."""
+        return self._policy
+
+    @policy.setter
+    def policy(self, policy: BudgetPolicy) -> None:
+        """Swap the active policy (used by scoped session allowances)."""
+        self._policy = policy
+
+    @property
+    def events(self) -> EventLog | None:
+        """The session event stream, if one is attached."""
+        return self._events
+
+    def attach_events(self, events: EventLog | None) -> None:
+        """Connect the session event stream to the optimizer and policy."""
+        self._events = events
+        self._policy.attach(events)
 
     @property
     def calls_used(self) -> int:
         """Counted what-if calls issued so far."""
-        return self._meter.spent
+        return self._policy.spent
 
     @property
     def call_log(self) -> list[WhatIfCall]:
@@ -294,6 +287,14 @@ class WhatIfOptimizer:
         self._log.append(
             WhatIfCall(ordinal=len(self._log) + 1, qid=qid, configuration=key, cost=cost)
         )
+        if self._events is not None:
+            self._events.emit(
+                "whatif_call",
+                calls_used=self._policy.spent,
+                qid=qid,
+                size=len(key),
+                cost=cost,
+            )
 
     # ------------------------------------------------------------------ #
     # costing
@@ -328,13 +329,13 @@ class WhatIfOptimizer:
     def whatif_cost(self, query: Query, configuration) -> float:
         """``c(q, C)`` via a counted what-if call (cached pairs are free).
 
-        The call is counted iff the *normalized* key is uncached; the budget
+        The call is counted iff the *normalized* key is uncached; the policy
         is charged only after a successful costing, so a cost-model failure
         never leaks a budget unit.
 
         Raises:
-            BudgetExhaustedError: If the pair is uncached and the budget is
-                spent.
+            BudgetExhaustedError: If the pair is uncached and the budget
+                policy denies the call.
         """
         key = config_key(configuration)
         if not key:
@@ -352,9 +353,9 @@ class WhatIfOptimizer:
             if norm is not key:
                 self._stats.normalized_hits += 1
             return cached
-        self._meter.check()
+        self._policy.check(query.qid)
         cost = self._price(prepared, norm)
-        self._meter.charge()
+        self._policy.charge(query.qid)
         self._stats.cache_misses += 1
         self._commit_call(query.qid, norm, cost)
         return cost
@@ -364,16 +365,16 @@ class WhatIfOptimizer:
     ) -> float:
         """FCFS cost of ``C ∪ {extra}`` given ``base_cost = cost(q, C)``.
 
-        The greedy hot path: while budget remains this is a counted what-if
-        call; afterwards it derives incrementally — only observations
-        containing ``extra`` can improve on ``base_cost``.
+        The greedy hot path: while the policy admits the query this is a
+        counted what-if call; afterwards it derives incrementally — only
+        observations containing ``extra`` can improve on ``base_cost``.
         """
-        if not self._meter.exhausted:
-            # Invariant: with budget remaining, whatif_cost cannot raise —
-            # cached pairs return before the meter is touched, and an
-            # uncached pair charges a meter we just observed unexhausted.
-            # The exhausted regime is handled explicitly below, so no
-            # try/except or post-hoc cache re-check is needed here.
+        if self._policy.admits(query.qid):
+            # Invariant: admits() is pure and guarantees the immediately
+            # following charge succeeds, so whatif_cost cannot raise here —
+            # cached pairs return before the policy is touched. The denied
+            # regime is handled explicitly below, so no try/except or
+            # post-hoc cache re-check is needed.
             return self.whatif_cost(query, trial)
         norm = self._norm_key(self.prepared(query), trial)
         if not norm:
@@ -395,20 +396,23 @@ class WhatIfOptimizer:
     def whatif_prefetch(self, pairs, *, limit: int | None = None) -> int:
         """Price and commit uncached (query, configuration) pairs in bulk.
 
-        Pairs are normalized and deduplicated *in issue order*, truncated to
-        the remaining budget (and ``limit``, if given), priced — serially or
-        on the thread pool — and then committed to the cache, meter,
-        derivation store, and call log strictly in issue order. The result
-        is bit-identical to issuing :meth:`whatif_cost` sequentially for the
+        Pairs are normalized and deduplicated *in issue order*; each
+        surviving pair reserves one counted call through the budget policy's
+        :meth:`~repro.budget.policy.BudgetPolicy.try_charge` (denied pairs
+        are skipped and left uncached). Reserved pairs are priced — serially
+        or on the thread pool — and then committed to the cache, derivation
+        store, and call log strictly in issue order. Under FCFS the granted
+        set is exactly the budget-sized prefix, so the result is
+        bit-identical to issuing :meth:`whatif_cost` sequentially for the
         same pairs, for every pool size.
 
         Unlike :meth:`whatif_cost` this never raises on exhaustion: it
-        prices what fits and leaves the rest uncached (FCFS semantics).
+        prices what fits and leaves the rest uncached.
 
         Args:
             pairs: Iterable of ``(query, configuration)``.
-            limit: Optional extra cap on counted calls (slice-limited views
-                use this to enforce local allowances).
+            limit: Optional extra cap on counted calls (scoped allowances
+                use this to enforce local slices).
 
         Returns:
             Number of counted calls issued.
@@ -416,6 +420,8 @@ class WhatIfOptimizer:
         pending: list[tuple[str, PreparedQuery, frozenset[Index]]] = []
         seen: set[tuple[str, frozenset[Index]]] = set()
         for query, configuration in pairs:
+            if limit is not None and len(pending) >= limit:
+                break
             key = config_key(configuration)
             if not key:
                 continue
@@ -427,19 +433,14 @@ class WhatIfOptimizer:
             if cache_key in self._cache or cache_key in seen:
                 continue
             seen.add(cache_key)
+            if not self._policy.try_charge(query.qid):
+                continue
             pending.append((query.qid, prepared, norm))
-
-        allowed = self._meter.remaining
-        if limit is not None:
-            allowed = limit if allowed is None else min(allowed, limit)
-        if allowed is not None and len(pending) > allowed:
-            del pending[allowed:]
         if not pending:
             return 0
 
         costs = self._price_batch(pending)
         for (qid, _, norm), cost in zip(pending, costs):
-            self._meter.charge()
             self._stats.cache_misses += 1
             self._commit_call(qid, norm, cost)
         return len(pending)
@@ -518,9 +519,9 @@ class WhatIfOptimizer:
                     total += query.weight * cached
                     continue
                 # Uncached past the budget: the prefetch priced everything
-                # the meter admitted, so this pair did not fit.
+                # the policy admitted, so this pair did not fit.
                 if on_exhausted == "raise":
-                    self._meter.check()
+                    self._policy.check(query.qid)
                 total += query.weight * self._derivation.derived_cost(
                     query.qid, norm, self.empty_cost(query)
                 )

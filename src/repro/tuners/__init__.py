@@ -18,7 +18,7 @@
   control not in the paper.
 """
 
-from repro.tuners.base import Tuner, TuningResult, evaluated_cost
+from repro.tuners.base import Tuner, TuningResult, TuningSession, evaluated_cost
 from repro.tuners.greedy import VanillaGreedyTuner, greedy_enumerate
 from repro.tuners.twophase import TwoPhaseGreedyTuner
 from repro.tuners.autoadmin import AutoAdminGreedyTuner
@@ -39,6 +39,7 @@ __all__ = [
     "TimeBudgetedTuner",
     "Tuner",
     "TuningResult",
+    "TuningSession",
     "TwoPhaseGreedyTuner",
     "VanillaGreedyTuner",
     "evaluated_cost",

@@ -11,9 +11,7 @@ bounds the fill.
 from __future__ import annotations
 
 from repro.catalog import Index
-from repro.config import TuningConstraints
-from repro.optimizer.whatif import WhatIfOptimizer
-from repro.tuners.base import Tuner, evaluated_cost
+from repro.tuners.base import Tuner, TuningSession
 from repro.tuners.greedy import greedy_enumerate
 from repro.workload.candidates import atomic_configurations, candidates_for_query
 
@@ -34,17 +32,15 @@ class AutoAdminGreedyTuner(Tuner):
         self._atomic_size = atomic_size
         self._winners_per_query = winners_per_query
 
-    def _enumerate(
-        self,
-        optimizer: WhatIfOptimizer,
-        candidates: list[Index],
-        constraints: TuningConstraints,
-    ) -> tuple[frozenset[Index], list[tuple[int, frozenset[Index]]]]:
-        history: list[tuple[int, frozenset[Index]]] = []
-        workload = optimizer.workload
+    def _enumerate(self, session: TuningSession) -> frozenset[Index]:
+        optimizer = session.optimizer
+        workload = session.workload
+        candidates = session.candidates
+        constraints = session.constraints
 
         refined: list[Index] = []
         seen: set[Index] = set()
+        session.phase("atomic_configurations")
         for query in workload:
             local = candidates_for_query(workload.schema, query, candidates)
             atoms = atomic_configurations(local, max_size=self._atomic_size)
@@ -53,7 +49,7 @@ class AutoAdminGreedyTuner(Tuner):
             for atom in atoms:
                 if not constraints.admits(atom):
                     continue
-                cost = evaluated_cost(optimizer, query, atom)
+                cost = session.evaluated_cost(query, atom)
                 if cost < base:
                     scored.append((cost, atom))
             scored.sort(key=lambda item: item[0])
@@ -62,13 +58,11 @@ class AutoAdminGreedyTuner(Tuner):
                     if index not in seen:
                         seen.add(index)
                         refined.append(index)
-            if optimizer.meter.exhausted:
+            if session.exhausted:
                 break
 
         if not refined:
             refined = list(candidates)
 
-        configuration = greedy_enumerate(
-            optimizer, refined, constraints, history=history
-        )
-        return configuration, history
+        session.phase("workload_greedy")
+        return greedy_enumerate(session, refined, constraints, checkpoints=True)

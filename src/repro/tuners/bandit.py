@@ -19,10 +19,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.catalog import Index
-from repro.config import TuningConstraints
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.rng import make_np_rng
-from repro.tuners.base import Tuner, evaluated_cost
+from repro.tuners.base import Tuner, TuningSession
 
 
 def table_query_counts(optimizer: WhatIfOptimizer) -> dict[str, int]:
@@ -90,14 +89,12 @@ class DBABanditTuner(Tuner):
         self._seed = seed
         self._max_rounds = max_rounds
 
-    def _enumerate(
-        self,
-        optimizer: WhatIfOptimizer,
-        candidates: list[Index],
-        constraints: TuningConstraints,
-    ):
+    def _enumerate(self, session: TuningSession) -> frozenset[Index]:
+        optimizer = session.optimizer
+        candidates = session.candidates
+        constraints = session.constraints
         rng = make_np_rng(self._seed)
-        workload = optimizer.workload
+        workload = session.workload
         query_counts = table_query_counts(optimizer)
         features = {
             ix: index_features(optimizer, ix, query_counts) for ix in candidates
@@ -110,10 +107,9 @@ class DBABanditTuner(Tuner):
         baseline = optimizer.empty_workload_cost()
         best: frozenset[Index] = frozenset()
         best_cost = baseline
-        history: list[tuple[int, frozenset[Index]]] = []
 
         for _ in range(self._max_rounds):
-            if optimizer.meter.exhausted:
+            if session.exhausted:
                 break
             V_inv = np.linalg.inv(V)
             theta = V_inv @ b
@@ -139,7 +135,7 @@ class DBABanditTuner(Tuner):
             round_cost = 0.0
             by_display = {index.display(): index for index in configuration}
             for query in workload:
-                cost = evaluated_cost(optimizer, query, configuration)
+                cost = session.evaluated_cost(query, configuration)
                 round_cost += query.weight * cost
                 empty = optimizer.empty_cost(query)
                 if empty <= 0:
@@ -167,6 +163,6 @@ class DBABanditTuner(Tuner):
 
             if round_cost < best_cost:
                 best, best_cost = configuration, round_cost
-                history.append((optimizer.calls_used, best))
+                session.checkpoint(best)
 
-        return best, history
+        return best

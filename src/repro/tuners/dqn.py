@@ -17,11 +17,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.catalog import Index
-from repro.config import TuningConstraints
 from repro.nn import MLP, ReplayBuffer, Transition
-from repro.optimizer.whatif import WhatIfOptimizer
 from repro.rng import make_np_rng
-from repro.tuners.base import Tuner, evaluated_cost
+from repro.tuners.base import Tuner, TuningSession
 
 
 class NoDBATuner(Tuner):
@@ -59,14 +57,12 @@ class NoDBATuner(Tuner):
         self._seed = seed
         self._max_episodes = max_episodes
 
-    def _enumerate(
-        self,
-        optimizer: WhatIfOptimizer,
-        candidates: list[Index],
-        constraints: TuningConstraints,
-    ):
+    def _enumerate(self, session: TuningSession) -> frozenset[Index]:
+        optimizer = session.optimizer
+        candidates = session.candidates
+        constraints = session.constraints
         rng = make_np_rng(self._seed)
-        workload = optimizer.workload
+        workload = session.workload
         n = len(candidates)
         positions = {index: i for i, index in enumerate(candidates)}
 
@@ -78,7 +74,6 @@ class NoDBATuner(Tuner):
         baseline = optimizer.empty_workload_cost()
         best: frozenset[Index] = frozenset()
         best_cost = baseline
-        history: list[tuple[int, frozenset[Index]]] = []
         steps = 0
 
         def encode(configuration: set[Index]) -> np.ndarray:
@@ -89,12 +84,12 @@ class NoDBATuner(Tuner):
 
         def evaluate(configuration: frozenset[Index]) -> float:
             return sum(
-                q.weight * evaluated_cost(optimizer, q, configuration)
+                q.weight * session.evaluated_cost(q, configuration)
                 for q in workload
             )
 
         for episode in range(self._max_episodes):
-            if optimizer.meter.exhausted:
+            if session.exhausted:
                 break
             fraction = episode / max(1, self._max_episodes - 1)
             epsilon = self._eps_start + (self._eps_end - self._eps_start) * fraction
@@ -102,7 +97,7 @@ class NoDBATuner(Tuner):
             configuration: set[Index] = set()
             previous_cost = baseline
             for _ in range(constraints.max_indexes):
-                if optimizer.meter.exhausted:
+                if session.exhausted:
                     break
                 available = [
                     index
@@ -138,7 +133,7 @@ class NoDBATuner(Tuner):
                 previous_cost = cost
                 if cost < best_cost:
                     best, best_cost = frozen, cost
-                    history.append((optimizer.calls_used, best))
+                    session.checkpoint(best)
 
                 steps += 1
                 if len(replay) >= self._batch_size:
@@ -146,7 +141,7 @@ class NoDBATuner(Tuner):
                 if steps % self._target_sync == 0:
                     target.set_parameters(online.get_parameters())
 
-        return best, history
+        return best
 
     def _train_batch(self, online: MLP, target: MLP, replay: ReplayBuffer) -> None:
         batch = replay.sample(self._batch_size)

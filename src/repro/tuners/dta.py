@@ -13,14 +13,17 @@ the paper proposes for exposing a time knob on top of a call budget. The
 failure mode the paper observes — a costly query monopolising budget so that
 some slices return no useful indexes — emerges naturally from the priority
 queue processing the most expensive queries first.
+
+Per-slice throttling uses the session's scoped
+:meth:`~repro.tuners.base.TuningSession.allowance` (a
+:class:`~repro.budget.policy.SliceAllowance` over the active policy), which
+replaced the ad-hoc slice-limited optimizer proxy this module used to carry.
 """
 
 from __future__ import annotations
 
 from repro.catalog import Index
-from repro.config import TuningConstraints
-from repro.optimizer.whatif import WhatIfOptimizer
-from repro.tuners.base import Tuner
+from repro.tuners.base import Tuner, TuningSession
 from repro.tuners.greedy import greedy_enumerate
 from repro.workload.candidates import candidates_for_query
 from repro.workload.query import Workload
@@ -68,15 +71,12 @@ class DTATuner(Tuner):
         self._per_query_share = per_query_share
         self._merging = merging
 
-    def _enumerate(
-        self,
-        optimizer: WhatIfOptimizer,
-        candidates: list[Index],
-        constraints: TuningConstraints,
-    ):
-        workload = optimizer.workload
+    def _enumerate(self, session: TuningSession) -> frozenset[Index]:
+        optimizer = session.optimizer
+        workload = session.workload
         schema = workload.schema
-        history: list[tuple[int, frozenset[Index]]] = []
+        candidates = session.candidates
+        constraints = session.constraints
 
         # Cost-based priority queue: most expensive queries first.
         queue = sorted(
@@ -88,10 +88,11 @@ class DTATuner(Tuner):
         best: frozenset[Index] = frozenset()
         best_cost = optimizer.empty_workload_cost()
 
-        while queue and not optimizer.meter.exhausted:
+        while queue and not session.exhausted:
+            session.phase("slice")
             batch, queue = queue[: self._slice_queries], queue[self._slice_queries :]
             for query in batch:
-                remaining = optimizer.meter.remaining
+                remaining = session.remaining
                 slice_budget = (
                     None
                     if remaining is None
@@ -105,9 +106,18 @@ class DTATuner(Tuner):
                     schema=schema,
                     queries=[query],
                 )
-                winner = self._tune_with_slice_budget(
-                    optimizer, local, constraints, singleton, slice_budget
-                )
+                if slice_budget is None:
+                    winner = greedy_enumerate(
+                        session, local, constraints, workload=singleton
+                    )
+                else:
+                    # The allowance stops this query drawing counted calls
+                    # once its slice is spent; the global budget (and
+                    # session.exhausted) provide hard enforcement throughout.
+                    with session.allowance(slice_budget):
+                        winner = greedy_enumerate(
+                            session, local, constraints, workload=singleton
+                        )
                 for index in winner:
                     signature = (index.table, index.key_columns, index.include_columns)
                     if signature not in seen:
@@ -119,68 +129,11 @@ class DTATuner(Tuner):
             )
             if not working_pool:
                 continue
-            recommendation = greedy_enumerate(optimizer, working_pool, constraints)
+            recommendation = greedy_enumerate(session, working_pool, constraints)
             cost = optimizer.derived_workload_cost(recommendation)
             if cost < best_cost and constraints.admits(recommendation):
                 best, best_cost = frozenset(recommendation), cost
             # Anytime property: a recommendation exists after every slice.
-            history.append((optimizer.calls_used, best))
+            session.checkpoint(best)
 
-        return best, history
-
-    @staticmethod
-    def _tune_with_slice_budget(
-        optimizer: WhatIfOptimizer,
-        local: list[Index],
-        constraints: TuningConstraints,
-        singleton: Workload,
-        slice_budget: int | None,
-    ) -> frozenset[Index]:
-        """Per-query greedy, stopping early when the slice allocation is spent.
-
-        The global meter still provides hard budget enforcement; the slice
-        allocation only decides when this query stops receiving calls.
-        """
-        if slice_budget is None:
-            return greedy_enumerate(optimizer, local, constraints, workload=singleton)
-        start = optimizer.calls_used
-
-        class _SliceLimitedOptimizer:
-            """Proxy that reports exhaustion once the slice allowance is spent."""
-
-            def __init__(self, inner: WhatIfOptimizer):
-                self._inner = inner
-
-            def __getattr__(self, name):
-                return getattr(self._inner, name)
-
-            def _slice_spent(self) -> bool:
-                return self._inner.calls_used - start >= slice_budget
-
-            def whatif_cost(self, query, configuration):
-                if self._slice_spent() and not self._inner.is_cached(
-                    query, configuration
-                ):
-                    return self._inner.derived_cost(query, configuration)
-                return self._inner.whatif_cost(query, configuration)
-
-            def trial_cost(self, query, base_cost, trial, extra):
-                if self._slice_spent() and not self._inner.is_cached(query, trial):
-                    return self._inner.derivation.derived_cost_with_extra(
-                        query.qid, base_cost, trial, extra
-                    )
-                return self._inner.trial_cost(query, base_cost, trial, extra)
-
-            def whatif_prefetch(self, pairs, *, limit=None):
-                # Cap batched pricing to the slice's remaining allowance;
-                # __getattr__ forwarding alone would let a batch spend the
-                # whole global budget on one query.
-                slack = slice_budget - (self._inner.calls_used - start)
-                if slack <= 0:
-                    return 0
-                if limit is not None:
-                    slack = min(slack, limit)
-                return self._inner.whatif_prefetch(pairs, limit=slack)
-
-        proxy = _SliceLimitedOptimizer(optimizer)
-        return greedy_enumerate(proxy, local, constraints, workload=singleton)
+        return best

@@ -1,11 +1,13 @@
-"""Vanilla greedy search (Algorithm 1) with FCFS budget allocation.
+"""Vanilla greedy search (Algorithm 1) drawing budget through the session.
 
 The classic AutoAdmin/DTA greedy enumeration: start from the empty
 configuration, repeatedly add the single index that most reduces the
 workload cost, and stop when no addition helps or the cardinality constraint
-is reached. Budget-awareness follows Section 4.2.1: what-if calls are issued
-first-come-first-serve until the budget runs out, after which derived costs
-stand in — producing the row-major layout of Figure 5(b).
+is reached. Budget-awareness follows Section 4.2.1 under the default FCFS
+policy: what-if calls are issued first-come-first-serve until the budget
+runs out, after which derived costs stand in — producing the row-major
+layout of Figure 5(b). Other budget policies simply deny different calls;
+the enumeration logic is unchanged.
 
 One standard engineering refinement over the textbook pseudo-code: when a
 trial index's table is not accessed by a query, the query's cost cannot
@@ -19,30 +21,41 @@ from __future__ import annotations
 from repro.catalog import Index
 from repro.config import TuningConstraints
 from repro.optimizer.whatif import WhatIfOptimizer
-from repro.tuners.base import Tuner, evaluated_cost
+from repro.tuners.base import Tuner, TuningSession, as_session
 from repro.workload.query import Workload
 
 
 def greedy_enumerate(
-    optimizer: WhatIfOptimizer,
+    session: TuningSession | WhatIfOptimizer,
     candidates: list[Index],
     constraints: TuningConstraints,
     workload: Workload | None = None,
     history: list[tuple[int, frozenset[Index]]] | None = None,
+    *,
+    checkpoints: bool = False,
 ) -> frozenset[Index]:
-    """Algorithm 1 over ``workload`` (default: the optimizer's workload).
+    """Algorithm 1 over ``workload`` (default: the session's workload).
 
     Args:
-        optimizer: Budget-metered what-if interface.
+        session: The tuning session (a bare optimizer is wrapped for
+            pre-session callers such as MCTS extraction).
         candidates: Candidate indexes ``I``.
         constraints: Cardinality/storage constraints ``Γ``.
         workload: Optional sub-workload (the two-phase variant tunes each
             query as a singleton workload through this hook).
-        history: Optional sink for ``(calls_used, best_config)`` checkpoints.
+        history: Optional sink for ``(calls_used, best_config)`` checkpoints
+            (used by sub-searches that keep a local history).
+        checkpoints: When true, record each round through
+            :meth:`~repro.tuners.base.TuningSession.checkpoint` — the
+            session history, event stream, and budget-policy hooks all see
+            the round. Top-level tuners set this; embedded greedy phases
+            (extraction, per-query sub-tuning) leave it off.
 
     Returns:
         The best configuration found, honouring ``constraints``.
     """
+    session = as_session(session)
+    optimizer = session.optimizer
     queries = list(workload or optimizer.workload)
     pool: list[Index] = sorted(
         candidates, key=lambda ix: (ix.table, ix.key_columns, ix.include_columns)
@@ -70,7 +83,7 @@ def greedy_enumerate(
     informative: dict[Index, list] | None = None
 
     while pool and len(best_config) < constraints.max_indexes:
-        if optimizer.meter.exhausted and informative is None:
+        if session.exhausted and informative is None:
             derivation = optimizer.derivation
             informative = {
                 index: [
@@ -82,10 +95,10 @@ def greedy_enumerate(
             }
         # Batch-price this step's counted calls up front, in the exact
         # (index, query) order the trial loop below would issue them.
-        # Prefetch dedupes, truncates to the remaining budget, and commits
+        # Prefetch dedupes, reserves through the budget policy, and commits
         # in issue order, so the FCFS layout is byte-identical to the
         # sequential loop — the loop then reads everything from the cache.
-        if not optimizer.meter.exhausted:
+        if not session.exhausted:
             optimizer.whatif_prefetch(
                 (query, best_config | {index})
                 for index in pool
@@ -123,30 +136,25 @@ def greedy_enumerate(
         # Refresh per-query costs: only queries touching the added index's
         # table can have changed. Same batching: prefetch in loop order so
         # the FCFS truncation point matches the sequential evaluation.
-        if not optimizer.meter.exhausted:
+        if not session.exhausted:
             optimizer.whatif_prefetch((query, best_config) for query in relevant[added])
         for query in relevant[added]:
-            current[query.qid] = evaluated_cost(optimizer, query, best_config)
+            current[query.qid] = session.evaluated_cost(query, best_config)
         best_cost = sum(q.weight * current[q.qid] for q in queries)
         pool = [index for index in pool if index not in best_config]
+        if checkpoints:
+            session.checkpoint(best_config)
         if history is not None:
             history.append((optimizer.calls_used, best_config))
     return best_config
 
 
 class VanillaGreedyTuner(Tuner):
-    """Algorithm 1 at workload level with FCFS budget allocation."""
+    """Algorithm 1 at workload level with session-drawn budget."""
 
     name = "vanilla_greedy"
 
-    def _enumerate(
-        self,
-        optimizer: WhatIfOptimizer,
-        candidates: list[Index],
-        constraints: TuningConstraints,
-    ) -> tuple[frozenset[Index], list[tuple[int, frozenset[Index]]]]:
-        history: list[tuple[int, frozenset[Index]]] = []
-        configuration = greedy_enumerate(
-            optimizer, candidates, constraints, history=history
+    def _enumerate(self, session: TuningSession) -> frozenset[Index]:
+        return greedy_enumerate(
+            session, session.candidates, session.constraints, checkpoints=True
         )
-        return configuration, history

@@ -10,10 +10,9 @@ singleton priors (Algorithm 4), myopic rollout with step size 0, and greedy
 from __future__ import annotations
 
 from repro.catalog import Index
-from repro.config import MCTSConfig, TuningConstraints
+from repro.config import MCTSConfig
 from repro.core.search import MCTSSearch
-from repro.optimizer.whatif import WhatIfOptimizer
-from repro.tuners.base import Tuner
+from repro.tuners.base import Tuner, TuningSession
 
 
 class MCTSTuner(Tuner):
@@ -40,18 +39,12 @@ class MCTSTuner(Tuner):
         """The search object of the most recent :meth:`tune` (diagnostics)."""
         return self._last_search
 
-    def _enumerate(
-        self,
-        optimizer: WhatIfOptimizer,
-        candidates: list[Index],
-        constraints: TuningConstraints,
-    ) -> tuple[frozenset[Index], list[tuple[int, frozenset[Index]]]]:
+    def _enumerate(self, session: TuningSession) -> frozenset[Index]:
         search = MCTSSearch(
-            optimizer=optimizer,
-            candidates=candidates,
-            constraints=constraints,
+            session=session,
             config=self._config,
             seed=self._seed,
         )
         self._last_search = search
-        return search.run()
+        best, _ = search.run()
+        return best

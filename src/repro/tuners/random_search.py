@@ -8,10 +8,8 @@ floor every principled algorithm must beat in tests and ablations.
 from __future__ import annotations
 
 from repro.catalog import Index
-from repro.config import TuningConstraints
-from repro.optimizer.whatif import WhatIfOptimizer
 from repro.rng import make_rng
-from repro.tuners.base import Tuner, evaluated_cost
+from repro.tuners.base import Tuner, TuningSession
 
 
 class RandomSearchTuner(Tuner):
@@ -22,34 +20,31 @@ class RandomSearchTuner(Tuner):
     def __init__(self, seed: int | None = None):
         self._seed = seed
 
-    def _enumerate(
-        self,
-        optimizer: WhatIfOptimizer,
-        candidates: list[Index],
-        constraints: TuningConstraints,
-    ) -> tuple[frozenset[Index], list[tuple[int, frozenset[Index]]]]:
+    def _enumerate(self, session: TuningSession) -> frozenset[Index]:
         rng = make_rng(self._seed)
-        workload = optimizer.workload
+        optimizer = session.optimizer
+        candidates = session.candidates
+        constraints = session.constraints
+        workload = session.workload
         best: frozenset[Index] = frozenset()
         best_cost = optimizer.empty_workload_cost()
-        history: list[tuple[int, frozenset[Index]]] = []
         max_size = min(constraints.max_indexes, len(candidates))
 
         # Bound the loop even when the budget is unlimited or no sample is
         # ever admissible (tiny storage constraints).
-        budget = optimizer.meter.budget
+        budget = session.budget
         max_samples = 10 * (budget if budget is not None else 100)
         for _ in range(max_samples):
-            if optimizer.meter.exhausted:
+            if session.exhausted:
                 break
             size = rng.randint(1, max_size)
             sample = frozenset(rng.sample(candidates, size))
             if not constraints.admits(sample):
                 continue
             cost = sum(
-                q.weight * evaluated_cost(optimizer, q, sample) for q in workload
+                q.weight * session.evaluated_cost(q, sample) for q in workload
             )
             if cost < best_cost:
                 best, best_cost = sample, cost
-                history.append((optimizer.calls_used, best))
-        return best, history
+                session.checkpoint(best)
+        return best

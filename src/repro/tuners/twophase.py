@@ -1,4 +1,4 @@
-"""Two-phase greedy search (Algorithm 2) with FCFS budget allocation.
+"""Two-phase greedy search (Algorithm 2) with session-drawn budget.
 
 Phase 1 tunes every query as a singleton workload with Algorithm 1 — a
 column-major fill of the budget allocation matrix (Figure 5(c)). Phase 2
@@ -9,9 +9,7 @@ Algorithm 1 once more over the whole workload.
 from __future__ import annotations
 
 from repro.catalog import Index
-from repro.config import TuningConstraints
-from repro.optimizer.whatif import WhatIfOptimizer
-from repro.tuners.base import Tuner
+from repro.tuners.base import Tuner, TuningSession
 from repro.tuners.greedy import greedy_enumerate
 from repro.workload.candidates import candidates_for_query
 from repro.workload.query import Query, Workload
@@ -33,28 +31,25 @@ class TwoPhaseGreedyTuner(Tuner):
 
     def _phase_one_candidates(
         self,
-        optimizer: WhatIfOptimizer,
+        session: TuningSession,
         query: Query,
         candidates: list[Index],
     ) -> list[Index]:
         if not self._per_query_candidates:
             return candidates
-        return candidates_for_query(optimizer.workload.schema, query, candidates)
+        return candidates_for_query(session.workload.schema, query, candidates)
 
-    def _enumerate(
-        self,
-        optimizer: WhatIfOptimizer,
-        candidates: list[Index],
-        constraints: TuningConstraints,
-    ) -> tuple[frozenset[Index], list[tuple[int, frozenset[Index]]]]:
-        history: list[tuple[int, frozenset[Index]]] = []
-        workload = optimizer.workload
+    def _enumerate(self, session: TuningSession) -> frozenset[Index]:
+        workload = session.workload
+        candidates = session.candidates
+        constraints = session.constraints
         refined: list[Index] = []
         seen: set[Index] = set()
 
         # Phase 1: tune each query as a singleton workload.
+        session.phase("per_query_greedy")
         for query in workload:
-            query_candidates = self._phase_one_candidates(optimizer, query, candidates)
+            query_candidates = self._phase_one_candidates(session, query, candidates)
             if not query_candidates:
                 continue
             singleton = Workload(
@@ -63,13 +58,13 @@ class TwoPhaseGreedyTuner(Tuner):
                 queries=[query],
             )
             winner = greedy_enumerate(
-                optimizer, query_candidates, constraints, workload=singleton
+                session, query_candidates, constraints, workload=singleton
             )
             for index in winner:
                 if index not in seen:
                     seen.add(index)
                     refined.append(index)
-            if optimizer.meter.exhausted:
+            if session.exhausted:
                 break
 
         if not refined:
@@ -78,8 +73,5 @@ class TwoPhaseGreedyTuner(Tuner):
             refined = list(candidates)
 
         # Phase 2: workload-level greedy over the refined candidates.
-        configuration = greedy_enumerate(
-            optimizer, refined, constraints, history=history
-        )
-        return configuration, history
-
+        session.phase("workload_greedy")
+        return greedy_enumerate(session, refined, constraints, checkpoints=True)

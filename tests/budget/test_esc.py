@@ -1,0 +1,121 @@
+"""Early-stop policy: plateau detection and composition over other policies."""
+
+import pytest
+
+from repro.budget import (
+    BudgetMeter,
+    EarlyStopPolicy,
+    FCFSPolicy,
+    WiiReallocationPolicy,
+)
+from repro.exceptions import TuningError
+
+
+def _policy(**kwargs):
+    return EarlyStopPolicy(FCFSPolicy(BudgetMeter(100)), **kwargs)
+
+
+def test_parameter_validation():
+    with pytest.raises(TuningError, match="patience"):
+        _policy(patience=0)
+    with pytest.raises(TuningError, match="min_delta"):
+        _policy(min_delta=-0.5)
+
+
+def test_wants_progress_so_checkpoints_compute_improvement():
+    assert _policy().wants_progress
+    assert not FCFSPolicy(BudgetMeter(10)).wants_progress
+
+
+def test_stops_on_plateau_and_reports_a_reason():
+    policy = _policy(patience=2, min_delta=0.5)
+    for calls, improvement in [(10, 5.0), (20, 12.0), (30, 12.1), (40, 12.2)]:
+        policy.on_checkpoint(calls, improvement)
+    assert policy.stopped
+    assert "plateau" in policy.stop_reason
+    assert "after 40 calls" in policy.stop_reason
+
+
+def test_keeps_running_while_the_curve_climbs():
+    policy = _policy(patience=2, min_delta=0.5)
+    for calls, improvement in [(10, 5.0), (20, 8.0), (30, 11.0), (40, 14.0)]:
+        policy.on_checkpoint(calls, improvement)
+    assert not policy.stopped
+    assert policy.stop_reason is None
+
+
+def test_never_stops_before_min_checkpoints():
+    policy = _policy(patience=1, min_checkpoints=4)
+    for calls in (10, 20, 30):
+        policy.on_checkpoint(calls, 0.0)  # perfectly flat
+    assert not policy.stopped
+    policy.on_checkpoint(40, 0.0)
+    assert policy.stopped
+
+
+def test_min_checkpoints_is_raised_to_cover_the_patience_window():
+    policy = _policy(patience=3, min_checkpoints=1)
+    assert policy._min_checkpoints == 4
+
+
+def test_checkpoints_without_progress_are_ignored():
+    policy = _policy(patience=1)
+    for calls in (10, 20, 30, 40):
+        policy.on_checkpoint(calls, None)
+    assert not policy.stopped
+    assert policy.curve == []
+
+
+def test_stop_denies_everything_and_reads_as_exhausted():
+    policy = _policy(patience=1, min_delta=0.5)
+    assert policy.admits("q1")
+    policy.charge("q1")
+    policy.on_checkpoint(1, 3.0)
+    policy.on_checkpoint(2, 3.0)
+    assert policy.stopped
+    assert policy.exhausted
+    assert not policy.admits("q1")
+    assert not policy.try_charge("q1")
+    assert policy.spent == 1  # the denial did not consume budget
+
+
+def test_curve_freezes_after_the_stop():
+    policy = _policy(patience=1, min_delta=1.0)
+    policy.on_checkpoint(1, 2.0)
+    policy.on_checkpoint(2, 2.0)
+    assert policy.stopped
+    frozen = policy.curve
+    policy.on_checkpoint(3, 50.0)
+    assert policy.curve == frozen
+
+
+def test_delegates_allocation_to_the_inner_policy():
+    inner = FCFSPolicy(BudgetMeter(1))
+    policy = EarlyStopPolicy(inner)
+    policy.charge("q1")
+    assert inner.spent == 1
+    assert policy.spent == 1
+    assert policy.exhausted  # inner budget gone, even though no stop fired
+    assert not policy.stopped
+
+
+def test_composes_over_wii_slicing():
+    class _Stub:
+        def __iter__(self):
+            from repro.workload.query import Query
+
+            return iter([Query(qid="q1", sql="SELECT 1"),
+                         Query(qid="q2", sql="SELECT 1")])
+
+    inner = WiiReallocationPolicy(BudgetMeter(4), release_rate=1.0)
+    policy = EarlyStopPolicy(inner, patience=1, min_delta=0.5)
+    policy.bind(_Stub())
+    assert inner.slices == {"q1": 2, "q2": 2}
+    policy.charge("q1")
+    policy.charge("q1")
+    assert not policy.admits("q1")  # Wii slice denial passes through
+    policy.on_checkpoint(2, 1.0)
+    assert policy.admits("q1")  # reallocation reached the inner policy
+    policy.on_checkpoint(3, 1.0)
+    assert policy.stopped  # and the plateau check still fires on top
+    assert not policy.admits("q1")

@@ -1,0 +1,55 @@
+"""The session event stream: emission, ordering, and JSON round-trip."""
+
+import pytest
+
+from repro.budget.events import EVENT_KINDS, EventLog, SessionEvent
+from repro.exceptions import TuningError
+
+
+def test_emit_assigns_ordinals_in_order():
+    log = EventLog()
+    first = log.emit("phase", calls_used=0, name="warmup")
+    second = log.emit("checkpoint", calls_used=3, size=2, improvement=None)
+    assert (first.ordinal, second.ordinal) == (1, 2)
+    assert len(log) == 2
+    assert [event.kind for event in log] == ["phase", "checkpoint"]
+
+
+def test_emit_rejects_unknown_kind():
+    log = EventLog()
+    with pytest.raises(TuningError, match="unknown session event kind"):
+        log.emit("telemetry", calls_used=0)
+
+
+def test_counts_by_kind():
+    log = EventLog()
+    for qid in ("q1", "q2", "q3"):
+        log.emit("budget_grant", calls_used=1, qid=qid, policy="fcfs")
+    log.emit("stop", calls_used=3, reason="done")
+    assert log.counts() == {"budget_grant": 3, "stop": 1}
+
+
+def test_events_property_returns_a_copy():
+    log = EventLog()
+    log.emit("phase", calls_used=0, name="a")
+    snapshot = log.events
+    log.emit("phase", calls_used=0, name="b")
+    assert len(snapshot) == 1
+
+
+@pytest.mark.parametrize("kind", EVENT_KINDS)
+def test_json_round_trip_for_every_kind(kind):
+    event = SessionEvent(
+        ordinal=7, kind=kind, calls_used=42, payload={"qid": "q9", "cost": 1.5}
+    )
+    data = event.to_json()
+    assert data["ordinal"] == 7
+    assert data["kind"] == kind
+    assert data["calls_used"] == 42
+    assert data["qid"] == "q9"
+    assert SessionEvent.from_json(data) == event
+
+
+def test_round_trip_preserves_empty_payload():
+    event = SessionEvent(ordinal=1, kind="stop", calls_used=0)
+    assert SessionEvent.from_json(event.to_json()) == event

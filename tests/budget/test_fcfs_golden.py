@@ -1,0 +1,55 @@
+"""FCFS bit-identity: the refactored budget layer vs the pre-refactor oracle.
+
+``tests/fixtures/fcfs_golden.json`` snapshots greedy/DTA/MCTS runs captured
+before budget accounting moved out of ``WhatIfOptimizer`` into the
+``repro.budget`` package. The default FCFS policy must reproduce them
+exactly — configurations, float costs, ``calls_used``, checkpoint history,
+and the what-if call-log layout. See ``tests/fixtures/gen_fcfs_golden.py``.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_FIXTURES = Path(__file__).resolve().parent.parent / "fixtures"
+
+
+def _load_generator():
+    spec = importlib.util.spec_from_file_location(
+        "gen_fcfs_golden", _FIXTURES / "gen_fcfs_golden.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_GEN = _load_generator()
+_GOLDEN = json.loads((_FIXTURES / "fcfs_golden.json").read_text())
+
+
+@pytest.fixture(scope="module")
+def workloads(tpch):
+    return {"toy": _GEN.build_toy_workload(), "tpch": tpch}
+
+
+@pytest.mark.parametrize(
+    "label,workload_name,factory,budget,seed",
+    _GEN.CASES,
+    ids=[case[0] for case in _GEN.CASES],
+)
+def test_fcfs_matches_the_pre_refactor_oracle(
+    workloads, label, workload_name, factory, budget, seed
+):
+    expected = _GOLDEN[label]
+    result = factory(seed).tune(workloads[workload_name], budget=budget)
+    snapshot = _GEN.snapshot_result(result)
+    # Field-by-field for readable failures; floats compared exactly on
+    # purpose — FCFS must be bit-identical, not merely close.
+    assert snapshot["configuration"] == expected["configuration"]
+    assert snapshot["estimated_cost"] == expected["estimated_cost"]
+    assert snapshot["baseline_cost"] == expected["baseline_cost"]
+    assert snapshot["calls_used"] == expected["calls_used"]
+    assert snapshot["history"] == expected["history"]
+    assert snapshot["call_log"] == expected["call_log"]

@@ -1,0 +1,112 @@
+"""Budget-policy unit tests: FCFS, slice allowances, and the factory."""
+
+import pytest
+
+from repro.budget import (
+    BudgetMeter,
+    EarlyStopPolicy,
+    EventLog,
+    FCFSPolicy,
+    SliceAllowance,
+    WiiReallocationPolicy,
+    build_policy,
+)
+from repro.exceptions import BudgetExhaustedError, TuningError
+
+
+class TestFCFSPolicy:
+    def test_grants_until_the_meter_runs_dry(self):
+        policy = FCFSPolicy(BudgetMeter(2))
+        assert policy.admits("q1")
+        policy.charge("q1")
+        assert policy.admits("q2")
+        policy.charge("q2")
+        assert not policy.admits("q1")
+        assert policy.exhausted
+
+    def test_check_raises_without_consuming(self):
+        policy = FCFSPolicy(BudgetMeter(1))
+        policy.charge("q1")
+        with pytest.raises(BudgetExhaustedError):
+            policy.check("q1")
+        assert policy.spent == 1
+
+    def test_unlimited_budget_always_admits(self):
+        policy = FCFSPolicy(BudgetMeter(None))
+        for _ in range(100):
+            policy.charge("q1")
+        assert policy.admits("q1")
+        assert not policy.exhausted
+
+    def test_try_charge_returns_false_instead_of_raising(self):
+        policy = FCFSPolicy(BudgetMeter(1))
+        assert policy.try_charge("q1")
+        assert not policy.try_charge("q1")
+        assert policy.spent == 1
+
+    def test_grant_and_deny_events(self):
+        events = EventLog()
+        policy = FCFSPolicy(BudgetMeter(1))
+        policy.attach(events)
+        policy.charge("q1")
+        assert not policy.try_charge("q2")
+        assert not policy.try_charge("q2")  # deduped per query per regime
+        counts = events.counts()
+        assert counts == {"budget_grant": 1, "budget_deny": 1}
+
+    def test_deny_events_rearm_after_checkpoint(self):
+        events = EventLog()
+        policy = FCFSPolicy(BudgetMeter(1))
+        policy.attach(events)
+        policy.charge("q1")
+        assert not policy.try_charge("q2")
+        policy.on_checkpoint(1, None)
+        assert not policy.try_charge("q2")
+        assert events.counts()["budget_deny"] == 2
+
+
+class TestSliceAllowance:
+    def test_caps_local_spend_without_touching_global_exhaustion(self):
+        inner = FCFSPolicy(BudgetMeter(10))
+        allowance = SliceAllowance(inner, 2)
+        allowance.charge("q1")
+        allowance.charge("q1")
+        assert not allowance.admits("q1")  # slice spent
+        assert not allowance.exhausted  # global budget is not
+        assert inner.admits("q1")
+        assert inner.spent == 2  # charges flow through to the global meter
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(TuningError, match="non-negative"):
+            SliceAllowance(FCFSPolicy(BudgetMeter(5)), -1)
+
+    def test_respects_inner_denial(self):
+        inner = FCFSPolicy(BudgetMeter(1))
+        allowance = SliceAllowance(inner, 5)
+        allowance.charge("q1")
+        assert not allowance.admits("q1")
+        assert allowance.exhausted  # delegated: the global budget is gone
+
+
+class TestBuildPolicy:
+    def test_names(self):
+        assert isinstance(build_policy("fcfs", 5), FCFSPolicy)
+        assert isinstance(build_policy("wii", 5), WiiReallocationPolicy)
+        esc = build_policy("esc", 5)
+        assert isinstance(esc, EarlyStopPolicy)
+        assert isinstance(esc.inner, FCFSPolicy)
+        combined = build_policy("esc+wii", 5)
+        assert isinstance(combined, EarlyStopPolicy)
+        assert isinstance(combined.inner, WiiReallocationPolicy)
+
+    def test_unknown_name(self):
+        with pytest.raises(TuningError, match="unknown budget policy"):
+            build_policy("lifo", 5)
+
+    def test_knobs_are_forwarded(self):
+        policy = build_policy(
+            "esc+wii", 10, wii_release_rate=1.0, esc_patience=5, esc_min_delta=2.0
+        )
+        assert policy._patience == 5
+        assert policy._min_delta == 2.0
+        assert policy.inner._release_rate == 1.0

@@ -1,0 +1,130 @@
+"""Wii-style reallocation: slicing, borrowing, and checkpoint release."""
+
+import pytest
+
+from repro.budget import BudgetMeter, WiiReallocationPolicy
+from repro.exceptions import TuningError
+from repro.workload.query import Query
+
+
+def _workload(schema_free_qids):
+    """A minimal stand-in: bind() only reads ``query.qid`` off the iterable."""
+
+    class _Stub:
+        def __init__(self, qids):
+            self._queries = [Query(qid=qid, sql="SELECT 1") for qid in qids]
+
+        def __iter__(self):
+            return iter(self._queries)
+
+    return _Stub(schema_free_qids)
+
+
+def test_release_rate_validation():
+    with pytest.raises(TuningError, match="release_rate"):
+        WiiReallocationPolicy(BudgetMeter(10), release_rate=0.0)
+    with pytest.raises(TuningError, match="release_rate"):
+        WiiReallocationPolicy(BudgetMeter(10), release_rate=1.5)
+
+
+def test_bind_slices_budget_evenly_with_workload_order_remainder():
+    policy = WiiReallocationPolicy(BudgetMeter(10))
+    policy.bind(_workload(["q1", "q2", "q3"]))
+    assert policy.slices == {"q1": 4, "q2": 3, "q3": 3}
+    assert sum(policy.slices.values()) == 10
+
+
+def test_unbound_or_unlimited_policy_degenerates_to_fcfs():
+    unlimited = WiiReallocationPolicy(BudgetMeter(None))
+    unlimited.bind(_workload(["q1", "q2"]))
+    for _ in range(50):
+        unlimited.charge("q1")
+    assert unlimited.admits("q1")
+
+    unbound = WiiReallocationPolicy(BudgetMeter(3))
+    assert unbound.admits("anything")
+    unbound.charge("anything")
+    assert unbound.spent == 1
+
+
+def test_slice_denial_before_any_reallocation():
+    policy = WiiReallocationPolicy(BudgetMeter(4))
+    policy.bind(_workload(["q1", "q2"]))
+    policy.charge("q1")
+    policy.charge("q1")
+    # q1's slice (2) is spent and the pool is empty: denied.
+    assert not policy.admits("q1")
+    assert policy.admits("q2")
+    assert not policy.exhausted  # q2 could still be granted
+
+
+def test_idle_queries_release_slack_and_spenders_borrow_it():
+    policy = WiiReallocationPolicy(BudgetMeter(4), release_rate=1.0)
+    policy.bind(_workload(["q1", "q2"]))
+    policy.charge("q1")
+    policy.charge("q1")
+    assert not policy.admits("q1")
+    # q2 drew nothing this interval: it releases its whole unused slice.
+    policy.on_checkpoint(2, None)
+    assert policy.pool == 2
+    assert policy.admits("q1")
+    policy.charge("q1")  # borrows one unit from the pool
+    assert policy.pool == 1
+    assert policy.spent_by_query["q1"] == 3
+
+
+def test_partial_release_rounds_up():
+    policy = WiiReallocationPolicy(BudgetMeter(10), release_rate=0.5)
+    policy.bind(_workload(["q1", "q2"]))  # slices 5/5
+    policy.charge("q1")
+    policy.on_checkpoint(1, None)
+    # q2 idle with 5 unused: releases ceil(5 * 0.5) = 3.
+    assert policy.pool == 3
+    assert policy.slices["q2"] == 2
+
+
+def test_active_queries_keep_their_slice_at_checkpoints():
+    policy = WiiReallocationPolicy(BudgetMeter(10), release_rate=1.0)
+    policy.bind(_workload(["q1", "q2"]))
+    policy.charge("q1")
+    policy.charge("q2")
+    policy.on_checkpoint(2, None)
+    # Both queries were active in the interval: nothing is released.
+    assert policy.pool == 0
+
+
+def test_conservation_invariant_under_churn():
+    policy = WiiReallocationPolicy(BudgetMeter(9), release_rate=0.7)
+    policy.bind(_workload(["q1", "q2", "q3"]))
+    budget = policy.budget
+    for round_no in range(6):
+        for position, qid in enumerate(("q1", "q2", "q3")):
+            if (round_no + position) % 2 == 0:
+                policy.try_charge(qid)
+        policy.on_checkpoint(policy.spent, None)
+        # Slice transfers only move headroom around: the un-spent part of
+        # all slices plus the pool never exceeds what remains of B.
+        headroom = sum(
+            policy.slices[qid] - policy.spent_by_query.get(qid, 0)
+            for qid in policy.slices
+        )
+        assert headroom + policy.pool <= budget - policy.spent
+        assert policy.spent <= budget
+
+
+def test_global_meter_is_the_hard_stop():
+    policy = WiiReallocationPolicy(BudgetMeter(2), release_rate=1.0)
+    policy.bind(_workload(["q1", "q2"]))
+    policy.charge("q1")
+    policy.charge("q2")
+    assert policy.exhausted
+    assert not policy.admits("q1")
+    assert not policy.admits("q2")
+
+
+def test_workload_binding_is_idempotent():
+    policy = WiiReallocationPolicy(BudgetMeter(6))
+    policy.bind(_workload(["q1", "q2"]))
+    first = policy.slices
+    policy.bind(_workload(["q1", "q2", "q3"]))
+    assert policy.slices == first

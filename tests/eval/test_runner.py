@@ -78,3 +78,53 @@ class TestRunGrid:
         result = records[0].results[0]
         used = sum(ix.estimated_size_bytes for ix in result.configuration)
         assert used <= cap
+
+
+class TestBudgetPolicies:
+    def test_wii_cell_records_policy_and_events(self, toy_workload, toy_candidates):
+        runner = ExperimentRunner(toy_workload, candidates=toy_candidates, seeds=[1])
+        record = runner.run_cell(
+            lambda seed: VanillaGreedyTuner(),
+            budget=40,
+            constraints=TuningConstraints(max_indexes=3),
+            stochastic=False,
+            budget_policy="wii",
+        )
+        assert record.budget_policy == "wii"
+        assert record.calls_used <= 40
+        assert record.event_counts.get("whatif_call", 0) == record.calls_used
+        # Wii slices the budget per query, so some calls are denied even
+        # though the global meter would have granted them under FCFS.
+        assert record.event_counts.get("budget_deny", 0) >= 1
+
+    def test_esc_cell_collects_stop_reasons(
+        self, toy_workload, toy_candidates, monkeypatch
+    ):
+        # An unreachable min_delta forces the plateau stop as early as the
+        # patience guard allows; the knobs flow in via the env config.
+        monkeypatch.setenv("REPRO_ESC_PATIENCE", "1")
+        monkeypatch.setenv("REPRO_ESC_MIN_DELTA", "100.0")
+        runner = ExperimentRunner(toy_workload, candidates=toy_candidates, seeds=[1])
+        record = runner.run_cell(
+            lambda seed: VanillaGreedyTuner(),
+            budget=5000,
+            constraints=TuningConstraints(max_indexes=3),
+            stochastic=False,
+            budget_policy="esc",
+        )
+        assert record.budget_policy == "esc"
+        assert record.stop_reasons and "plateau" in record.stop_reasons[0]
+        assert record.event_counts.get("stop", 0) == 1
+        assert record.calls_used < 5000
+
+    def test_grid_threads_the_policy_through(self, toy_workload, toy_candidates):
+        runner = ExperimentRunner(
+            toy_workload, candidates=toy_candidates, seeds=[1], keep_results=False
+        )
+        records = runner.run_grid(
+            {"vanilla": (lambda seed: VanillaGreedyTuner(), False)},
+            budgets=[30],
+            k_values=[3],
+            budget_policy="wii",
+        )
+        assert [r.budget_policy for r in records] == ["wii"]

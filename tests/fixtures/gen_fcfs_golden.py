@@ -1,0 +1,98 @@
+"""Regenerate ``fcfs_golden.json`` — the FCFS budget-policy equivalence oracle.
+
+The snapshot was captured from the pre-session-refactor code (PR 1 tip), in
+which budget metering lived directly inside ``WhatIfOptimizer``. The
+``FCFSPolicy`` introduced by the TuningSession refactor must reproduce these
+runs bit-for-bit: configurations, costs, ``calls_used``, history checkpoints,
+and the call-log layout.
+
+Run from the repo root to regenerate (only needed if the *workloads* or the
+*paper semantics* deliberately change — never to paper over a budget-layer
+regression)::
+
+    PYTHONPATH=src python tests/fixtures/gen_fcfs_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.catalog import ColumnType, SchemaBuilder
+from repro.tuners import DTATuner, MCTSTuner, VanillaGreedyTuner
+from repro.workload import SynthesisProfile, WorkloadSynthesizer
+from repro.workloads.tpch import tpch_workload
+
+
+def build_toy_workload():
+    """The exact toy workload of ``tests/conftest.py`` (star schema, seed 3)."""
+    schema = (
+        SchemaBuilder("star")
+        .table("fact", rows=1_000_000)
+        .column("fk1", distinct=1_000)
+        .column("fk2", distinct=500)
+        .column("val", ColumnType.DECIMAL, distinct=10_000, lo=0, hi=10_000)
+        .column("cat", ColumnType.VARCHAR, distinct=50)
+        .column("flag", ColumnType.CHAR, distinct=3)
+        .table("dim1", rows=1_000)
+        .column("id", distinct=1_000)
+        .column("attr", distinct=20)
+        .table("dim2", rows=500)
+        .column("id", distinct=500)
+        .column("name", ColumnType.VARCHAR, distinct=500)
+        .foreign_key("fact", "fk1", "dim1", "id")
+        .foreign_key("fact", "fk2", "dim2", "id")
+        .build()
+    )
+    profile = SynthesisProfile(num_queries=12, max_joins=2, filters_per_query=1.5)
+    return WorkloadSynthesizer(schema, profile, seed=3).generate("toy")
+
+
+#: (label, workload name, tuner factory, budget, seed) per snapshot case.
+CASES = [
+    ("greedy_toy", "toy", lambda seed: VanillaGreedyTuner(), 100, 0),
+    ("greedy_tpch", "tpch", lambda seed: VanillaGreedyTuner(), 150, 0),
+    ("dta_toy", "toy", lambda seed: DTATuner(), 100, 0),
+    ("dta_tpch", "tpch", lambda seed: DTATuner(), 150, 0),
+    ("mcts_toy", "toy", lambda seed: MCTSTuner(seed=seed), 80, 0),
+    ("mcts_tpch", "tpch", lambda seed: MCTSTuner(seed=seed), 100, 0),
+]
+
+
+def snapshot_result(result) -> dict:
+    """Flatten a TuningResult (and its call log) into JSON-stable form."""
+    return {
+        "configuration": sorted(ix.display() for ix in result.configuration),
+        "estimated_cost": result.estimated_cost,
+        "baseline_cost": result.baseline_cost,
+        "calls_used": result.calls_used,
+        "history": [
+            [calls, sorted(ix.display() for ix in config)]
+            for calls, config in result.history
+        ],
+        "call_log": [
+            [entry.qid, len(entry.configuration), entry.cost]
+            for entry in result.optimizer.call_log
+        ],
+    }
+
+
+def main() -> None:
+    workloads = {"toy": build_toy_workload(), "tpch": tpch_workload()}
+    golden: dict[str, dict] = {}
+    for label, workload_name, factory, budget, seed in CASES:
+        result = factory(seed).tune(workloads[workload_name], budget=budget)
+        golden[label] = {
+            "workload": workload_name,
+            "tuner": result.tuner,
+            "budget": budget,
+            "seed": seed,
+            **snapshot_result(result),
+        }
+    out = Path(__file__).with_name("fcfs_golden.json")
+    out.write_text(json.dumps(golden, indent=1) + "\n")
+    print(f"wrote {out} ({len(golden)} cases)")
+
+
+if __name__ == "__main__":
+    main()

@@ -111,3 +111,48 @@ class TestTuneFlags:
         with pytest.raises(SystemExit):
             main(["tune", "--workload", "tpch", "--budget", "10",
                   "--selection", "psychic"])
+
+
+class TestBudgetPolicyFlags:
+    def test_wii_policy_flag(self, capsys):
+        code = main(
+            ["tune", "--workload", "tpch", "--budget", "30", "--algo", "vanilla",
+             "--budget-policy", "wii"]
+        )
+        assert code == 0
+        assert "improvement" in capsys.readouterr().out
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tune", "--workload", "tpch", "--budget", "10",
+                  "--budget-policy", "lifo"])
+
+    def test_trace_round_trips_through_jsonl(self, capsys, tmp_path):
+        import json
+
+        from repro.budget.events import SessionEvent
+
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            ["tune", "--workload", "tpch", "--budget", "30", "--algo", "vanilla",
+             "--trace", str(trace)]
+        )
+        assert code == 0
+        assert f"-> {trace}" in capsys.readouterr().out
+        lines = trace.read_text().splitlines()
+        assert lines
+        events = [SessionEvent.from_json(json.loads(line)) for line in lines]
+        kinds = {event.kind for event in events}
+        assert "whatif_call" in kinds
+        assert "checkpoint" in kinds
+        # Round-trip is lossless: serialising again reproduces the file.
+        assert [json.dumps(e.to_json()) for e in events] == lines
+
+    def test_trace_to_stdout(self, capsys):
+        code = main(
+            ["tune", "--workload", "tpch", "--budget", "20", "--algo", "vanilla",
+             "--trace", "-"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '"kind": "whatif_call"' in out

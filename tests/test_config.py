@@ -91,3 +91,50 @@ class TestAblationPresets:
         assert ABLATION_PRESETS["prior_greedy"].selection_policy == "epsilon_greedy"
         assert ABLATION_PRESETS["prior_greedy"].extraction == "bg"
         assert ABLATION_PRESETS["prior_greedy"].use_priors
+
+
+class TestReproConfigBudgetKnobs:
+    def test_defaults(self):
+        from repro.config import ReproConfig
+
+        config = ReproConfig()
+        assert config.budget_policy == "fcfs"
+        assert config.wii_release_rate == 0.5
+        assert config.esc_patience == 3
+        assert config.esc_min_delta == 0.1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"budget_policy": "lifo"},
+            {"wii_release_rate": 0.0},
+            {"wii_release_rate": 1.5},
+            {"esc_patience": 0},
+            {"esc_min_delta": -0.1},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        from repro.config import ReproConfig
+
+        with pytest.raises(ConstraintError):
+            ReproConfig(**kwargs)
+
+    def test_from_env_reads_policy_knobs(self, monkeypatch):
+        from repro.config import ReproConfig
+
+        monkeypatch.setenv("REPRO_BUDGET_POLICY", "esc+wii")
+        monkeypatch.setenv("REPRO_WII_RELEASE_RATE", "0.25")
+        monkeypatch.setenv("REPRO_ESC_PATIENCE", "5")
+        monkeypatch.setenv("REPRO_ESC_MIN_DELTA", "0.75")
+        config = ReproConfig.from_env()
+        assert config.budget_policy == "esc+wii"
+        assert config.wii_release_rate == 0.25
+        assert config.esc_patience == 5
+        assert config.esc_min_delta == 0.75
+
+    def test_from_env_rejects_garbage_numbers(self, monkeypatch):
+        from repro.config import ReproConfig
+
+        monkeypatch.setenv("REPRO_ESC_PATIENCE", "soon")
+        with pytest.raises(ConstraintError):
+            ReproConfig.from_env()
