@@ -89,13 +89,29 @@ class SessionEvent:
 
 
 class EventLog:
-    """An append-only stream of :class:`SessionEvent` records."""
+    """An append-only stream of :class:`SessionEvent` records.
+
+    Observers registered via :meth:`add_observer` see every event as it is
+    emitted — the hook the opt-in runtime sanitizers
+    (:mod:`repro.lint.sanitizers`) use to validate the stream online. An
+    observer that raises aborts the emitting operation.
+    """
 
     def __init__(self) -> None:
         self._events: list[SessionEvent] = []
+        self._observers: list[Any] = []
+
+    def add_observer(self, observer) -> None:
+        """Register ``observer(event)`` to be called on every emit."""
+        self._observers.append(observer)
+
+    @property
+    def observers(self) -> tuple:
+        """The registered observers (read-only view)."""
+        return tuple(self._observers)
 
     def emit(self, kind: str, calls_used: int, **payload: Any) -> SessionEvent:
-        """Append one event and return it."""
+        """Append one event, notify observers, and return it."""
         if kind not in EVENT_KINDS:
             raise TuningError(f"unknown session event kind {kind!r}")
         event = SessionEvent(
@@ -105,6 +121,8 @@ class EventLog:
             payload=payload,
         )
         self._events.append(event)
+        for observer in self._observers:
+            observer(event)
         return event
 
     @property

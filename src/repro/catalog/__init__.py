@@ -10,7 +10,7 @@ from repro.catalog.column import Column, ColumnStats, ColumnType
 from repro.catalog.table import Table
 from repro.catalog.keys import ForeignKey
 from repro.catalog.schema import Schema
-from repro.catalog.index import Index, index_storage_bytes
+from repro.catalog.index import Index, index_sort_key, index_storage_bytes
 from repro.catalog.builder import SchemaBuilder
 
 __all__ = [
@@ -22,5 +22,6 @@ __all__ = [
     "Schema",
     "SchemaBuilder",
     "Table",
+    "index_sort_key",
     "index_storage_bytes",
 ]

@@ -126,6 +126,17 @@ class Index:
         return f"{self.table}({keys})"
 
 
+def index_sort_key(index: Index) -> tuple[str, tuple[str, ...], tuple[str, ...]]:
+    """Canonical deterministic ordering key for indexes.
+
+    ``Index`` hashes on strings, so set/frozenset iteration order varies
+    with ``PYTHONHASHSEED``; any loop whose order can reach costs, budget
+    charges, or RNG draws must sort by this key instead (enforced by lint
+    rule REP004).
+    """
+    return (index.table, index.key_columns, index.include_columns)
+
+
 def index_storage_bytes(
     table: Table,
     key_columns: tuple[str, ...],

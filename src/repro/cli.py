@@ -19,9 +19,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 
 from repro.budget.policy import POLICY_NAMES
-from repro.config import MCTSConfig, TuningConstraints
+from repro.config import MCTSConfig, ReproConfig, TuningConstraints
 from repro.eval.timemodel import WhatIfTimeModel
 from repro.exceptions import ReproError
 from repro.optimizer.whatif import WhatIfOptimizer
@@ -93,6 +94,9 @@ def _build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--trace", default=None, metavar="PATH",
                       help="write the session event stream as JSON lines to "
                            "PATH ('-' for stdout)")
+    tune.add_argument("--sanitize", action="store_true",
+                      help="install the runtime sanitizers (monotonicity + "
+                           "event-stream invariants; see repro.lint.sanitizers)")
 
     explain = sub.add_parser("explain", help="show a hypothetical plan")
     explain.add_argument("--workload", required=True, choices=available_workloads())
@@ -147,10 +151,16 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         min_improvement_percent=args.min_improvement,
     )
     tuner = _ALGORITHMS[args.algo](args)
+    optimizer_config = (
+        replace(ReproConfig.from_env(), sanitize=True) if args.sanitize else None
+    )
     if args.minutes is not None:
         adapter = TimeBudgetedTuner(tuner)
         result = adapter.tune_for_minutes(
-            workload, args.minutes, constraints=constraints
+            workload,
+            args.minutes,
+            constraints=constraints,
+            optimizer_config=optimizer_config,
         )
         model = WhatIfTimeModel(workload)
         print(
@@ -163,6 +173,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             workload,
             budget=args.budget,
             constraints=constraints,
+            optimizer_config=optimizer_config,
             budget_policy=args.budget_policy,
         )
 

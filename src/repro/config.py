@@ -61,6 +61,13 @@ class ReproConfig:
             early-stop policy halts the session.
         esc_min_delta: Minimum improvement gain (percentage points) over
             the patience window; less is a plateau.
+        sanitize: Install the opt-in runtime sanitizers
+            (:mod:`repro.lint.sanitizers`) on every tuning session:
+            monotonicity checks on observed costs and online validation of
+            the event stream. Observation-only — costs, budget accounting,
+            and outcomes are unchanged; a detected invariant violation
+            raises :class:`~repro.exceptions.InvariantViolationError`
+            instead of silently continuing.
     """
 
     normalize_cache: bool = True
@@ -69,6 +76,7 @@ class ReproConfig:
     wii_release_rate: float = 0.5
     esc_patience: int = 3
     esc_min_delta: float = 0.1
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.whatif_pool_size < 1:
@@ -99,7 +107,8 @@ class ReproConfig:
 
         Recognised: ``REPRO_NORMALIZE_CACHE``, ``REPRO_WHATIF_POOL``,
         ``REPRO_BUDGET_POLICY``, ``REPRO_WII_RELEASE_RATE``,
-        ``REPRO_ESC_PATIENCE``, ``REPRO_ESC_MIN_DELTA``.
+        ``REPRO_ESC_PATIENCE``, ``REPRO_ESC_MIN_DELTA``,
+        ``REPRO_SANITIZE``.
         """
         normalize = os.environ.get("REPRO_NORMALIZE_CACHE", "1") not in (
             "0",
@@ -136,6 +145,12 @@ class ReproConfig:
                     f"{name} must be an integer, got {raw!r}"
                 ) from None
 
+        sanitize = os.environ.get("REPRO_SANITIZE", "0") not in (
+            "",
+            "0",
+            "false",
+            "no",
+        )
         return cls(
             normalize_cache=normalize,
             whatif_pool_size=pool,
@@ -143,6 +158,7 @@ class ReproConfig:
             wii_release_rate=_float_env("REPRO_WII_RELEASE_RATE", 0.5),
             esc_patience=_int_env("REPRO_ESC_PATIENCE", 3),
             esc_min_delta=_float_env("REPRO_ESC_MIN_DELTA", 0.1),
+            sanitize=sanitize,
         )
 
 

@@ -18,7 +18,7 @@ transitions.
 
 from __future__ import annotations
 
-from repro.catalog import Index
+from repro.catalog import Index, index_sort_key
 from repro.config import TuningConstraints
 
 #: A state of the MDP: an index configuration.
@@ -35,9 +35,7 @@ class IndexTuningMDP:
     """
 
     def __init__(self, candidates: list[Index], constraints: TuningConstraints):
-        self._candidates = tuple(
-            sorted(candidates, key=lambda ix: (ix.table, ix.key_columns, ix.include_columns))
-        )
+        self._candidates = tuple(sorted(candidates, key=index_sort_key))
         self._constraints = constraints
 
     @property

@@ -63,7 +63,7 @@ class RolloutPolicy:
                 threshold = rng.random() * total
                 cumulative = 0.0
                 pick = available[-1]
-                for index, weight in zip(available, weights):
+                for index, weight in zip(available, weights, strict=True):
                     cumulative += weight
                     if cumulative >= threshold:
                         pick = index

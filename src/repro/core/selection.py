@@ -45,7 +45,7 @@ class SelectionPolicy(abc.ABC):
 class UCTPolicy(SelectionPolicy):
     """UCB1-based selection (Kocsis & Szepesvári), Equation 5."""
 
-    def __init__(self, exploration: float = math.sqrt(2.0), q_fn: QFunction | None = None):
+    def __init__(self, exploration: float = 2.0**0.5, q_fn: QFunction | None = None):
         super().__init__(q_fn)
         if exploration < 0:
             raise ValueError(f"exploration constant must be >= 0, got {exploration}")
@@ -87,7 +87,7 @@ class EpsilonGreedyPriorPolicy(SelectionPolicy):
             return rng.choice(node.actions)
         threshold = rng.random() * total
         cumulative = 0.0
-        for action, weight in zip(node.actions, weights):
+        for action, weight in zip(node.actions, weights, strict=True):
             cumulative += weight
             if cumulative >= threshold:
                 return action
@@ -119,7 +119,7 @@ class BoltzmannPolicy(SelectionPolicy):
         total = sum(weights)
         threshold = rng.random() * total
         cumulative = 0.0
-        for action, weight in zip(node.actions, weights):
+        for action, weight in zip(node.actions, weights, strict=True):
             cumulative += weight
             if cumulative >= threshold:
                 return action

@@ -59,7 +59,7 @@ def line_chart(
         marker = _MARKERS[position % len(_MARKERS)]
         legend.append(f"{marker} {label}")
         ordered = sorted(pts)
-        for (x1, y1), (x2, y2) in zip(ordered, ordered[1:]):
+        for (x1, y1), (x2, y2) in zip(ordered, ordered[1:], strict=False):
             # Linear interpolation between consecutive points.
             steps = max(
                 abs(cell(x2, y2)[1] - cell(x1, y1)[1]),

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from itertools import combinations
 
-from repro.catalog import Index
+from repro.catalog import Index, index_sort_key
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.query import Query, Workload
 
@@ -89,9 +89,7 @@ def workload_interactions(
     total_weight = sum(query.weight for query in workload)
 
     records: list[InteractionRecord] = []
-    ordered = sorted(
-        candidates, key=lambda ix: (ix.table, ix.key_columns, ix.include_columns)
-    )
+    ordered = sorted(candidates, key=index_sort_key)
     examined = 0
     for a, b in combinations(ordered, 2):
         if max_pairs is not None and examined >= max_pairs:

@@ -13,8 +13,9 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.catalog import Index
-from repro.config import TuningConstraints
+from repro.config import ReproConfig, TuningConstraints
 from repro.eval.metrics import mean_and_std
+from repro.lint.sanitizers import EventStreamValidator
 from repro.rng import DEFAULT_SEED, spawn_seeds
 from repro.tuners.base import Tuner, TuningResult
 from repro.workload.candidates import CandidateGenerator
@@ -147,6 +148,10 @@ class ExperimentRunner:
                 budget_policy=budget_policy,
             )
             elapsed.append(time.perf_counter() - start)
+            if ReproConfig.from_env().sanitize:
+                # Post-hoc replay of the recorded stream: catches invariant
+                # breaks even for tuners driven outside a sanitized session.
+                EventStreamValidator.validate(result.events, budget=result.budget)
             improvements.append(result.true_improvement())
             calls.append(float(result.calls_used))
             for event in result.events:

@@ -55,6 +55,16 @@ class BudgetExhaustedError(ReproError):
     """
 
 
+class InvariantViolationError(ReproError):
+    """Raised by the runtime sanitizers when a core invariant is broken.
+
+    The opt-in sanitizers of :mod:`repro.lint.sanitizers` observe cost-model
+    outputs and the session event stream and raise this error on the first
+    violation — a non-monotone cost (Assumption 1), a budget overrun in the
+    event stream, or a counted call after a terminal stop.
+    """
+
+
 class TuningError(ReproError):
     """Raised for invalid tuning requests (e.g., non-positive budget)."""
 

@@ -1,0 +1,107 @@
+"""The checked-in findings baseline.
+
+The baseline records *intentional* exceptions — findings reviewed by a
+human, kept on purpose, and justified in one line each. ``repro.lint``
+subtracts baseline entries from the live findings, so CI fails only on
+*new* violations. Entries match on ``(path, rule, message)``; line numbers
+are stored for readability but ignored by matching, so unrelated edits that
+shift code never stale the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+#: Baseline filename looked up in the working directory by default.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding with its one-line justification."""
+
+    path: str
+    rule: str
+    message: str
+    justification: str = ""
+    line: int = 0
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.path, self.rule, self.message)
+
+
+class Baseline:
+    """A set of accepted findings loaded from (or written to) JSON."""
+
+    def __init__(self, entries: list[BaselineEntry] | None = None):
+        self.entries = list(entries or [])
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        entries = [
+            BaselineEntry(
+                path=item["path"],
+                rule=item["rule"],
+                message=item["message"],
+                justification=item.get("justification", ""),
+                line=item.get("line", 0),
+            )
+            for item in data.get("entries", [])
+        ]
+        return cls(entries)
+
+    def save(self, path) -> None:
+        data = {
+            "version": 1,
+            "entries": [
+                {
+                    "path": entry.path,
+                    "rule": entry.rule,
+                    "line": entry.line,
+                    "message": entry.message,
+                    "justification": entry.justification,
+                }
+                for entry in sorted(self.entries, key=lambda e: e.key)
+            ],
+        }
+        Path(path).write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """Snapshot findings into a fresh baseline (justifications empty —
+        fill them in by hand before checking the file in)."""
+        return cls(
+            [
+                BaselineEntry(
+                    path=finding.path,
+                    rule=finding.rule,
+                    message=finding.message,
+                    line=finding.line,
+                    justification="TODO: justify or fix",
+                )
+                for finding in findings
+            ]
+        )
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Partition ``findings`` against the baseline.
+
+        Returns:
+            ``(new, accepted, stale)`` — findings not in the baseline,
+            findings the baseline covers, and baseline entries that no
+            longer match anything (candidates for deletion).
+        """
+        keys = {entry.key for entry in self.entries}
+        new = [f for f in findings if f.baseline_key not in keys]
+        accepted = [f for f in findings if f.baseline_key in keys]
+        live = {f.baseline_key for f in findings}
+        stale = [entry for entry in self.entries if entry.key not in live]
+        return new, accepted, stale

@@ -1,0 +1,115 @@
+"""``python -m repro.lint`` — run the budget-safety/determinism linter.
+
+Usage:
+    python -m repro.lint src/                 # lint a tree
+    python -m repro.lint src/ --format json   # machine output
+    python -m repro.lint src/ --select REP004,REP005
+    python -m repro.lint src/ --write-baseline lint-baseline.json
+    python -m repro.lint --list-rules
+
+Exit codes: 0 — clean (every finding baselined); 1 — new findings;
+2 — usage error. A ``lint-baseline.json`` in the working directory is
+picked up automatically; pass ``--no-baseline`` to see everything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import DEFAULT_BASELINE, Baseline
+from repro.lint.engine import REGISTRY, LintEngine
+from repro.lint.reporters import report_json, report_text
+
+# Importing the rules module populates the registry.
+from repro.lint import rules as _rules  # noqa: F401
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Budget-safety & determinism static analysis (REP001-REP006)",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument("--format", default="text", choices=("text", "json"),
+                        help="reporter (default text)")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline file of accepted findings "
+                             f"(default: ./{DEFAULT_BASELINE} when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", default=None, metavar="PATH",
+                        help="snapshot current findings into PATH and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(REGISTRY):
+            rule = REGISTRY[rule_id]
+            scope = ",".join(rule.scope) if rule.scope else "everywhere"
+            print(f"{rule_id}  {rule.title}  [scope: {scope}]")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("repro.lint: error: no paths given", file=sys.stderr)
+        return 2
+
+    select = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+    try:
+        engine = LintEngine(select=select)
+    except ValueError as error:
+        print(f"repro.lint: error: {error}", file=sys.stderr)
+        return 2
+
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(
+            f"repro.lint: error: no such path: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    findings = engine.check_paths(args.paths)
+
+    if args.write_baseline is not None:
+        Baseline.from_findings(findings).save(args.write_baseline)
+        print(
+            f"wrote {len(findings)} finding(s) to {args.write_baseline}; "
+            "add a justification to each entry before checking it in"
+        )
+        return 0
+
+    baseline = Baseline()
+    if not args.no_baseline:
+        baseline_path = args.baseline
+        if baseline_path is None and Path(DEFAULT_BASELINE).exists():
+            baseline_path = DEFAULT_BASELINE
+        if baseline_path is not None:
+            if not Path(baseline_path).exists():
+                print(
+                    f"repro.lint: error: baseline {baseline_path!r} not found",
+                    file=sys.stderr,
+                )
+                return 2
+            baseline = Baseline.load(baseline_path)
+
+    new, accepted, stale = baseline.split(findings)
+    reporter = report_json if args.format == "json" else report_text
+    reporter(new, accepted, stale, sys.stdout)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""Finding records produced by the ``repro.lint`` rule engine.
+
+A :class:`Finding` pins one rule violation to a source location. Findings
+are hashable on their *baseline key* — ``(path, rule, message)`` — so a
+checked-in baseline keeps matching across unrelated edits that merely shift
+line numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    Attributes:
+        rule: Rule identifier, e.g. ``"REP004"``.
+        path: Posix path of the offending file, as given to the engine.
+        line: 1-based source line of the flagged node.
+        col: 0-based column offset of the flagged node.
+        message: Human-readable description of the violation.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used for baseline matching (line numbers drift)."""
+        return (self.path, self.rule, self.message)
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-serialisable view (the ``--format json`` record shape)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The one-line text-reporter form, ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

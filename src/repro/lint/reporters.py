@@ -1,0 +1,53 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import TextIO
+
+from repro.lint.baseline import BaselineEntry
+from repro.lint.findings import Finding
+
+
+def report_text(
+    new: list[Finding],
+    accepted: list[Finding],
+    stale: list[BaselineEntry],
+    stream: TextIO,
+) -> None:
+    """The default reporter: one line per new finding plus a summary."""
+    for finding in new:
+        print(finding.render(), file=stream)
+    for entry in stale:
+        print(
+            f"stale baseline entry: {entry.path}: {entry.rule} "
+            f"({entry.message[:60]}...)"
+            if len(entry.message) > 60
+            else f"stale baseline entry: {entry.path}: {entry.rule} ({entry.message})",
+            file=stream,
+        )
+    summary = f"{len(new)} finding{'s' if len(new) != 1 else ''}"
+    if accepted:
+        summary += f", {len(accepted)} baselined"
+    if stale:
+        summary += f", {len(stale)} stale baseline entr{'ies' if len(stale) != 1 else 'y'}"
+    print(summary, file=stream)
+
+
+def report_json(
+    new: list[Finding],
+    accepted: list[Finding],
+    stale: list[BaselineEntry],
+    stream: TextIO,
+) -> None:
+    """Machine-readable reporter for tooling and CI annotations."""
+    payload = {
+        "findings": [finding.to_json() for finding in new],
+        "baselined": [finding.to_json() for finding in accepted],
+        "stale_baseline": [
+            {"path": entry.path, "rule": entry.rule, "message": entry.message}
+            for entry in stale
+        ],
+    }
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")

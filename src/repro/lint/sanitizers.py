@@ -1,0 +1,217 @@
+"""Opt-in runtime sanitizers: dynamic checks for the core paper invariants.
+
+The static rules of :mod:`repro.lint.rules` catch *patterns* that tend to
+break budget accounting or determinism; the sanitizers here catch actual
+*violations* at run time, on real executions. They are observation-only —
+installed, they never change costs, budget accounting, RNG draws, or
+outcomes; they only watch and raise
+:class:`~repro.exceptions.InvariantViolationError` on the first breach.
+
+Two sanitizers:
+
+:class:`MonotonicityChecker`
+    Asserts Assumption 1 (Section 3.1) on every cost the what-if optimizer
+    prices: for any query ``q`` and configurations ``C ⊆ C'``,
+    ``c(q, C') ≤ c(q, C)`` — adding indexes never hurts. Also asserts the
+    cost model is deterministic (re-pricing a pair yields the same cost).
+
+:class:`EventStreamValidator`
+    Validates the session event stream online (or post-hoc via
+    :meth:`EventStreamValidator.validate`): ordinals strictly increase,
+    grants and ``calls_used`` never exceed the budget ``B``, no counted
+    call or grant occurs after a terminal ``stop``, and checkpoint
+    ``calls_used`` is non-decreasing.
+
+Activation is opt-in via :attr:`repro.config.ReproConfig.sanitize` (env:
+``REPRO_SANITIZE=1``), the CLI ``--sanitize`` flag, or directly through
+:func:`install_session_sanitizers`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.exceptions import InvariantViolationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.budget.events import SessionEvent
+    from repro.catalog import Index
+    from repro.tuners.base import TuningSession
+
+#: Relative tolerance for monotonicity comparisons. The simulated cost model
+#: is exact arithmetic over floats; the tolerance only absorbs benign
+#: last-bit rounding, not real violations.
+MONOTONICITY_RTOL = 1e-9
+
+
+class MonotonicityChecker:
+    """Asserts ``c(q, C ∪ {i}) ≤ c(q, C)`` on every observed cost.
+
+    Installed as a cost observer on a
+    :class:`~repro.optimizer.whatif.WhatIfOptimizer` (see
+    :meth:`~repro.optimizer.whatif.WhatIfOptimizer.add_cost_observer`), it
+    records every freshly priced ``(qid, configuration, cost)`` triple and
+    cross-checks each new observation against all previous observations of
+    the same query that are in a subset/superset relation with it.
+
+    Args:
+        rtol: Relative tolerance for cost comparisons.
+    """
+
+    def __init__(self, rtol: float = MONOTONICITY_RTOL):
+        self._rtol = rtol
+        self._observed: dict[str, dict[frozenset, float]] = {}
+        #: Pairwise comparisons performed (test/diagnostic counter).
+        self.comparisons = 0
+
+    def on_cost(self, qid: str, configuration: "frozenset[Index]", cost: float) -> None:
+        """Cost-observer hook: record and cross-check one pricing."""
+        history = self._observed.setdefault(qid, {})
+        previous = history.get(configuration)
+        if previous is not None:
+            if abs(previous - cost) > self._tolerance(previous):
+                raise InvariantViolationError(
+                    f"nondeterministic cost model: c({qid}, C) with "
+                    f"|C|={len(configuration)} priced {previous!r} then {cost!r}"
+                )
+            return
+        for other, other_cost in history.items():
+            self.comparisons += 1
+            if other < configuration:
+                subset, superset = other, configuration
+                sub_cost, sup_cost = other_cost, cost
+            elif configuration < other:
+                subset, superset = configuration, other
+                sub_cost, sup_cost = cost, other_cost
+            else:
+                continue
+            if sup_cost > sub_cost + self._tolerance(sub_cost):
+                raise InvariantViolationError(
+                    f"monotonicity violated for {qid} (Assumption 1): "
+                    f"c(q, C') = {sup_cost!r} > c(q, C) = {sub_cost!r} "
+                    f"for C ⊂ C' with |C|={len(subset)}, |C'|={len(superset)}"
+                )
+        history[configuration] = cost
+
+    def _tolerance(self, reference: float) -> float:
+        return self._rtol * max(1.0, abs(reference))
+
+
+class EventStreamValidator:
+    """Validates the session event stream against budget discipline.
+
+    Invariants checked, per event:
+
+    * ordinals strictly increase (the stream is append-only);
+    * ``calls_used`` never exceeds the budget ``B``;
+    * at most ``B`` ``budget_grant`` events occur;
+    * no ``whatif_call`` or ``budget_grant`` after a terminal ``stop``;
+    * ``checkpoint`` events see non-decreasing ``calls_used``.
+
+    Use online by registering :meth:`on_event` as an
+    :class:`~repro.budget.events.EventLog` observer, or post-hoc over a
+    recorded stream via :meth:`validate`.
+
+    Args:
+        budget: The session's what-if call budget ``B`` (``None`` disables
+            the budget-bound checks).
+    """
+
+    def __init__(self, budget: int | None = None):
+        self._budget = budget
+        self._last_ordinal = 0
+        self._stopped = False
+        self._last_checkpoint_calls = 0
+        self._grants = 0
+        #: Events validated (test/diagnostic counter).
+        self.checked = 0
+
+    def on_event(self, event: "SessionEvent") -> None:
+        """Event-log observer hook: validate one event."""
+        self.checked += 1
+        if event.ordinal <= self._last_ordinal:
+            raise InvariantViolationError(
+                f"event stream ordinals not increasing: {event.ordinal} after "
+                f"{self._last_ordinal} ({event.kind})"
+            )
+        self._last_ordinal = event.ordinal
+        if self._budget is not None:
+            if event.calls_used > self._budget:
+                raise InvariantViolationError(
+                    f"event #{event.ordinal} ({event.kind}) reports "
+                    f"calls_used={event.calls_used} > budget {self._budget}"
+                )
+            if event.kind == "budget_grant":
+                self._grants += 1
+                if self._grants > self._budget:
+                    raise InvariantViolationError(
+                        f"budget_grant #{self._grants} exceeds budget "
+                        f"{self._budget} (event #{event.ordinal})"
+                    )
+        if self._stopped and event.kind in ("whatif_call", "budget_grant"):
+            raise InvariantViolationError(
+                f"{event.kind} event #{event.ordinal} after terminal stop "
+                "(the policy must deny all counted calls once stopped)"
+            )
+        if event.kind == "stop":
+            self._stopped = True
+        elif event.kind == "checkpoint":
+            if event.calls_used < self._last_checkpoint_calls:
+                raise InvariantViolationError(
+                    f"checkpoint ordering not monotone: calls_used went "
+                    f"{self._last_checkpoint_calls} -> {event.calls_used} "
+                    f"(event #{event.ordinal})"
+                )
+            self._last_checkpoint_calls = event.calls_used
+
+    @classmethod
+    def validate(
+        cls, events: "Iterable[SessionEvent]", budget: int | None = None
+    ) -> "EventStreamValidator":
+        """Validate a recorded stream post-hoc; returns the validator.
+
+        Raises:
+            InvariantViolationError: At the first invalid event.
+        """
+        validator = cls(budget=budget)
+        for event in events:
+            validator.on_event(event)
+        return validator
+
+
+@dataclass
+class SessionSanitizers:
+    """The sanitizer instances installed on one session."""
+
+    monotonicity: MonotonicityChecker
+    events: EventStreamValidator
+
+
+def _find_installed(observers, owner_type):
+    for observer in observers:
+        owner = getattr(observer, "__self__", None)
+        if isinstance(owner, owner_type):
+            return owner
+    return None
+
+
+def install_session_sanitizers(session: "TuningSession") -> SessionSanitizers:
+    """Install both sanitizers on ``session`` (idempotent).
+
+    Registers a :class:`MonotonicityChecker` as a cost observer on the
+    session's optimizer and an :class:`EventStreamValidator` (bound to the
+    session's global budget) on its event log. Re-installing on a session —
+    or on a second session wrapping the same optimizer/event log — reuses
+    the already-installed instances rather than stacking duplicates.
+    """
+    optimizer = session.optimizer
+    checker = _find_installed(optimizer.cost_observers, MonotonicityChecker)
+    if checker is None:
+        checker = MonotonicityChecker()
+        optimizer.add_cost_observer(checker.on_cost)
+    validator = _find_installed(session.events.observers, EventStreamValidator)
+    if validator is None:
+        validator = EventStreamValidator(budget=session.policy.budget)
+        session.events.add_observer(validator.on_event)
+    return SessionSanitizers(monotonicity=checker, events=validator)

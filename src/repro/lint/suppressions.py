@@ -1,0 +1,51 @@
+"""Per-line rule suppression for ``repro.lint``.
+
+A finding is suppressed by a trailing comment on the flagged line::
+
+    for index in chosen:  # repro-lint: off[REP004]
+        ...
+
+``off[REP004,REP005]`` silences several rules at once; a bare
+``# repro-lint: off`` silences every rule on that line. Suppressions are
+line-scoped on purpose — a file-wide opt-out belongs in the checked-in
+baseline, where it carries a justification.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Matches ``# repro-lint: off`` with an optional ``[RULE, RULE]`` list.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*off(?:\[(?P<rules>[A-Z0-9_,\s]+)\])?"
+)
+
+#: Sentinel meaning "every rule is suppressed on this line".
+ALL_RULES = "*"
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map 1-based line numbers to the rule ids suppressed on them.
+
+    A line mapping to ``{ALL_RULES}`` suppresses every rule.
+    """
+    table: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        raw = match.group("rules")
+        if raw is None:
+            table[lineno] = {ALL_RULES}
+        else:
+            rules = {part.strip() for part in raw.split(",") if part.strip()}
+            table.setdefault(lineno, set()).update(rules)
+    return table
+
+
+def is_suppressed(table: dict[int, set[str]], line: int, rule: str) -> bool:
+    """Whether ``rule`` is suppressed on ``line`` by ``table``."""
+    rules = table.get(line)
+    if not rules:
+        return False
+    return ALL_RULES in rules or rule in rules

@@ -35,18 +35,14 @@ class MLP:
         dims = [input_dim, *hidden_dims, output_dim]
         self._weights: list[np.ndarray] = []
         self._biases: list[np.ndarray] = []
-        for fan_in, fan_out in zip(dims[:-1], dims[1:]):
+        for fan_in, fan_out in zip(dims[:-1], dims[1:], strict=True):
             scale = np.sqrt(2.0 / fan_in)  # He initialisation for ReLU
             self._weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
             self._biases.append(np.zeros(fan_out))
         self._lr = learning_rate
         self._adam_t = 0
-        self._m = [np.zeros_like(w) for w in self._weights] + [
-            np.zeros_like(b) for b in self._biases
-        ]
-        self._v = [np.zeros_like(w) for w in self._weights] + [
-            np.zeros_like(b) for b in self._biases
-        ]
+        self._m = [np.zeros_like(p) for p in (*self._weights, *self._biases)]
+        self._v = [np.zeros_like(p) for p in (*self._weights, *self._biases)]
 
     @property
     def num_layers(self) -> int:
@@ -57,7 +53,7 @@ class MLP:
     def forward(self, states: np.ndarray) -> np.ndarray:
         """Q-values for a batch of states, shape ``(batch, output_dim)``."""
         activations = np.atleast_2d(states)
-        for layer, (weight, bias) in enumerate(zip(self._weights, self._biases)):
+        for layer, (weight, bias) in enumerate(zip(self._weights, self._biases, strict=True)):
             activations = activations @ weight + bias
             if layer < self.num_layers - 1:
                 activations = np.maximum(activations, 0.0)
@@ -66,7 +62,7 @@ class MLP:
     def _forward_cached(self, states: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
         activations = np.atleast_2d(states)
         cache = [activations]
-        for layer, (weight, bias) in enumerate(zip(self._weights, self._biases)):
+        for layer, (weight, bias) in enumerate(zip(self._weights, self._biases, strict=True)):
             activations = activations @ weight + bias
             if layer < self.num_layers - 1:
                 activations = np.maximum(activations, 0.0)
@@ -114,7 +110,7 @@ class MLP:
         self._adam_t += 1
         params = self._weights + self._biases
         grads = grad_weights + grad_biases
-        for i, (param, grad) in enumerate(zip(params, grads)):
+        for i, (param, grad) in enumerate(zip(params, grads, strict=True)):
             self._m[i] = beta1 * self._m[i] + (1 - beta1) * grad
             self._v[i] = beta2 * self._v[i] + (1 - beta2) * grad**2
             m_hat = self._m[i] / (1 - beta1**self._adam_t)
@@ -125,7 +121,7 @@ class MLP:
 
     def get_parameters(self) -> list[np.ndarray]:
         """Copies of all parameters (weights then biases)."""
-        return [w.copy() for w in self._weights] + [b.copy() for b in self._biases]
+        return [p.copy() for p in (*self._weights, *self._biases)]
 
     def set_parameters(self, parameters: list[np.ndarray]) -> None:
         """Load parameters produced by :meth:`get_parameters` (target nets)."""

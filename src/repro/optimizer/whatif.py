@@ -183,6 +183,7 @@ class WhatIfOptimizer:
         self._log: list[WhatIfCall] = []
         self._empty_costs: dict[str, float] = {}
         self._stats = WhatIfStats()
+        self._cost_observers: list = []
 
     # ------------------------------------------------------------------ #
     # bookkeeping accessors
@@ -241,6 +242,27 @@ class WhatIfOptimizer:
         """Whether relevant-index cache normalization is active."""
         return self._normalize
 
+    def add_cost_observer(self, observer) -> None:
+        """Register ``observer(qid, configuration, cost)`` on every pricing.
+
+        Observers see each *fresh* cost-model output — counted what-if
+        calls, the free empty-configuration costs, and uncounted
+        ground-truth evaluations — keyed by the normalized configuration.
+        Cached lookups are not re-reported. This is the hook the opt-in
+        :class:`~repro.lint.sanitizers.MonotonicityChecker` installs on; an
+        observer that raises aborts the costing operation.
+        """
+        self._cost_observers.append(observer)
+
+    @property
+    def cost_observers(self) -> tuple:
+        """The registered cost observers (read-only view)."""
+        return tuple(self._cost_observers)
+
+    def _notify_cost(self, qid: str, key: frozenset[Index], cost: float) -> None:
+        for observer in self._cost_observers:
+            observer(qid, key, cost)
+
     def prepared(self, query: Query) -> PreparedQuery:
         """The prepared form of ``query`` (bound and cached on first use)."""
         cached = self._prepared.get(query.qid)
@@ -287,6 +309,8 @@ class WhatIfOptimizer:
         self._log.append(
             WhatIfCall(ordinal=len(self._log) + 1, qid=qid, configuration=key, cost=cost)
         )
+        if self._cost_observers:
+            self._notify_cost(qid, key, cost)
         if self._events is not None:
             self._events.emit(
                 "whatif_call",
@@ -312,6 +336,8 @@ class WhatIfOptimizer:
             cost = self._price(self.prepared(query), frozenset())
             self._empty_costs[query.qid] = cost
             self._derivation.record(query.qid, frozenset(), cost)
+            if self._cost_observers:
+                self._notify_cost(query.qid, frozenset(), cost)
         return cost
 
     def empty_workload_cost(self) -> float:
@@ -440,7 +466,7 @@ class WhatIfOptimizer:
             return 0
 
         costs = self._price_batch(pending)
-        for (qid, _, norm), cost in zip(pending, costs):
+        for (qid, _, norm), cost in zip(pending, costs, strict=True):
             self._stats.cache_misses += 1
             self._commit_call(qid, norm, cost)
         return len(pending)
@@ -584,7 +610,10 @@ class WhatIfOptimizer:
         cached = self._cache.get((query.qid, norm))
         if cached is not None:
             return cached
-        return self._price(prepared, norm)
+        cost = self._price(prepared, norm)
+        if self._cost_observers:
+            self._notify_cost(query.qid, norm, cost)
+        return cost
 
     def explain(self, query: Query, configuration):
         """The plan behind a what-if cost (uncounted).

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.catalog import Index
+from repro.catalog import Index, index_sort_key
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.rng import make_np_rng
 from repro.tuners.base import Tuner, TuningSession
@@ -29,7 +29,7 @@ def table_query_counts(optimizer: WhatIfOptimizer) -> dict[str, int]:
     counts: dict[str, int] = {}
     for query in optimizer.workload:
         prepared = optimizer.prepared(query)
-        for table_name in {a.table.name for a in prepared.accesses.values()}:
+        for table_name in sorted({a.table.name for a in prepared.accesses.values()}):
             counts[table_name] = counts.get(table_name, 0) + 1
     return counts
 
@@ -127,13 +127,16 @@ class DBABanditTuner(Tuner):
                     break
                 if constraints.admits(arm, extra_bytes=index.estimated_size_bytes):
                     arm.add(index)
-            configuration = frozenset(arm)
+            # Fixed iteration order: posterior updates accumulate floats, so
+            # arm order must not depend on set hashing (REP004).
+            chosen = sorted(arm, key=index_sort_key)
+            configuration = frozenset(chosen)
 
             # Play the round: one what-if call per query (FCFS), observe
             # per-index rewards from the plans.
-            rewards: dict[Index, float] = {index: 0.0 for index in configuration}
+            rewards: dict[Index, float] = {index: 0.0 for index in chosen}
             round_cost = 0.0
-            by_display = {index.display(): index for index in configuration}
+            by_display = {index.display(): index for index in chosen}
             for query in workload:
                 cost = session.evaluated_cost(query, configuration)
                 round_cost += query.weight * cost
@@ -141,7 +144,7 @@ class DBABanditTuner(Tuner):
                 if empty <= 0:
                     continue
                 improvement = max(0.0, 1.0 - cost / empty)
-                if improvement == 0.0:
+                if improvement <= 0.0:
                     continue
                 plan = optimizer.explain(query, configuration)
                 used = set()
@@ -153,10 +156,10 @@ class DBABanditTuner(Tuner):
                 if not used:
                     continue
                 share = improvement / len(used)
-                for index in used:
+                for index in sorted(used, key=index_sort_key):
                     rewards[index] += share
 
-            for index in configuration:
+            for index in chosen:
                 x = features[index]
                 V += np.outer(x, x)
                 b += rewards[index] * x

@@ -97,6 +97,12 @@ class TuningSession:
         self._history: list[tuple[int, frozenset[Index]]] = []
         self._baseline: float | None = None
         self._stop_emitted = False
+        if (optimizer_config or ReproConfig.from_env()).sanitize:
+            # Deferred import: the lint package is a consumer of the tuner
+            # layer's public API, not a dependency of it.
+            from repro.lint.sanitizers import install_session_sanitizers
+
+            install_session_sanitizers(self)
 
     @classmethod
     def wrap(cls, optimizer: WhatIfOptimizer) -> "TuningSession":

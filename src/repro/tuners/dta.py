@@ -22,7 +22,7 @@ replaced the ad-hoc slice-limited optimizer proxy this module used to carry.
 
 from __future__ import annotations
 
-from repro.catalog import Index
+from repro.catalog import Index, index_sort_key
 from repro.tuners.base import Tuner, TuningSession
 from repro.tuners.greedy import greedy_enumerate
 from repro.workload.candidates import candidates_for_query
@@ -42,7 +42,10 @@ def merge_indexes(pool: list[Index], schema) -> list[Index]:
         payload = merged.setdefault(key, set())
         payload.update(index.include_columns)
     result = []
-    for (table_name, keys), payload in merged.items():
+    # Sorted key order makes the merge output deterministic by construction,
+    # independent of pool arrival order (REP004 discipline; downstream greedy
+    # re-sorts by the same canonical key, so outcomes are unchanged).
+    for (table_name, keys), payload in sorted(merged.items()):
         table = schema.table(table_name)
         include = tuple(sorted(payload - set(keys)))
         result.append(Index.build(table, keys, include))
@@ -119,7 +122,7 @@ class DTATuner(Tuner):
                             session, local, constraints, workload=singleton
                         )
                 for index in winner:
-                    signature = (index.table, index.key_columns, index.include_columns)
+                    signature = index_sort_key(index)
                     if signature not in seen:
                         seen.add(signature)
                         pool.append(index)

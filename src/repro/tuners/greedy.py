@@ -18,7 +18,7 @@ algorithm realises therefore only contains *informative* cells.
 
 from __future__ import annotations
 
-from repro.catalog import Index
+from repro.catalog import Index, index_sort_key
 from repro.config import TuningConstraints
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.tuners.base import Tuner, TuningSession, as_session
@@ -57,9 +57,7 @@ def greedy_enumerate(
     session = as_session(session)
     optimizer = session.optimizer
     queries = list(workload or optimizer.workload)
-    pool: list[Index] = sorted(
-        candidates, key=lambda ix: (ix.table, ix.key_columns, ix.include_columns)
-    )
+    pool: list[Index] = sorted(candidates, key=index_sort_key)
 
     # Relevance map: only queries touching an index's table can change cost.
     tables_of = {

@@ -13,7 +13,7 @@ for the workload.
 from __future__ import annotations
 
 from repro.catalog import Index
-from repro.config import TuningConstraints
+from repro.config import ReproConfig, TuningConstraints
 from repro.eval.timemodel import WhatIfTimeModel
 from repro.exceptions import TuningError
 from repro.tuners.base import Tuner, TuningResult
@@ -44,6 +44,7 @@ class TimeBudgetedTuner:
         minutes: float,
         constraints: TuningConstraints | None = None,
         candidates: list[Index] | None = None,
+        optimizer_config: ReproConfig | None = None,
     ) -> TuningResult:
         """Tune under a wall-clock budget, mapped to a what-if call budget.
 
@@ -52,6 +53,7 @@ class TimeBudgetedTuner:
             minutes: Tuning-time budget in minutes (the DTA-style knob).
             constraints: Outcome constraints ``Γ``.
             candidates: Optional pre-built candidate set.
+            optimizer_config: Engine knobs forwarded to the inner tuner.
 
         Raises:
             TuningError: If the time budget affords no what-if calls at all
@@ -67,5 +69,9 @@ class TimeBudgetedTuner:
                 f"this workload (fixed analysis time exceeds it)"
             )
         return self._inner.tune(
-            workload, budget=budget, constraints=constraints, candidates=candidates
+            workload,
+            budget=budget,
+            constraints=constraints,
+            candidates=candidates,
+            optimizer_config=optimizer_config,
         )

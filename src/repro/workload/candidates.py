@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.catalog import Index, Schema
+from repro.catalog import Index, Schema, index_sort_key
 from repro.optimizer.selectivity import predicate_selectivity
 from repro.workload.analysis import BoundQuery, PredicateKind, TableAccess
 from repro.workload.query import Query, Workload
@@ -122,7 +122,7 @@ class CandidateGenerator:
         for access in bound.accesses.values():
             self._emit_for_access(bound, access, emit)
 
-        candidates.sort(key=lambda ix: (ix.table, ix.key_columns, ix.include_columns))
+        candidates.sort(key=index_sort_key)
         return candidates[: self._options.max_candidates_per_query]
 
     def for_workload(self, workload: Workload) -> list[Index]:
@@ -132,7 +132,7 @@ class CandidateGenerator:
         for query in workload:
             bound = self._bind(workload, query)
             for index in self.for_query(bound):
-                signature = (index.table, index.key_columns, index.include_columns)
+                signature = index_sort_key(index)
                 if signature not in seen:
                     seen.add(signature)
                     merged.append(index)
@@ -191,12 +191,12 @@ class CandidateGenerator:
             if equality:
                 emit(
                     access.table,
-                    [join_column] + equality[: options.max_key_columns - 1],
+                    [join_column, *equality[: options.max_key_columns - 1]],
                     [],
                 )
                 emit(
                     access.table,
-                    equality[: options.max_key_columns - 1] + [join_column],
+                    [*equality[: options.max_key_columns - 1], join_column],
                     [],
                 )
             if options.covering_variants:

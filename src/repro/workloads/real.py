@@ -70,7 +70,7 @@ def enterprise_schema(
     # Scale raw sizes so the total heap roughly matches target_bytes.
     column_counts = [3 + rng.randrange(6) for _ in range(num_tables)]
     approx_row_bytes = [24 + 8 * (c + len(parents[i])) for i, c in enumerate(column_counts)]
-    raw_bytes = sum(s * b for s, b in zip(raw_sizes, approx_row_bytes))
+    raw_bytes = sum(s * b for s, b in zip(raw_sizes, approx_row_bytes, strict=True))
     scale = target_bytes / max(raw_bytes, 1.0)
 
     tables: list[Table] = []

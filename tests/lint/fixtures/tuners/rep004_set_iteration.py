@@ -1,0 +1,43 @@
+"""REP004 fixtures (tuners/ scope): iteration over unordered sets."""
+
+
+def float_accumulation(costs, indexes):
+    chosen = set(indexes)
+    total = 0.0
+    for index in chosen:  # repro-lint-expect: REP004
+        total += costs[index]
+    return total
+
+
+def comprehension_over_set(costs, indexes):
+    live = {index for index in sorted(indexes)}
+    return [costs[index] for index in live]  # repro-lint-expect: REP004
+
+
+def union_iteration(left, right):
+    merged = set(left) | set(right)
+    out = []
+    for item in merged:  # repro-lint-expect: REP004
+        out.append(item)
+    return out
+
+
+def dict_keyed_by_set(indexes):
+    weights = dict.fromkeys(set(indexes), 0.0)
+    return [pair for pair in weights.items()]  # repro-lint-expect: REP004
+
+
+def deterministic(costs, indexes):
+    ordered = sorted(set(indexes))
+    total = 0.0
+    for index in ordered:
+        total += costs[index]
+    pool = list(indexes)
+    for index in pool:
+        total += costs[index]
+    return total
+
+
+def justified(costs, indexes):
+    seen = set(indexes)
+    return [costs[index] for index in seen]  # repro-lint: off[REP004]

@@ -1,0 +1,167 @@
+"""Engine, suppression, baseline, and CLI tests for ``repro.lint``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import Baseline, BaselineEntry, LintEngine, REGISTRY
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import SYNTAX_RULE
+from repro.lint.findings import Finding
+from repro.lint.suppressions import ALL_RULES, is_suppressed, parse_suppressions
+
+
+class TestSuppressions:
+    def test_single_rule(self):
+        table = parse_suppressions("x = 1  # repro-lint: off[REP004]\n")
+        assert table == {1: {"REP004"}}
+
+    def test_multiple_rules(self):
+        table = parse_suppressions("x = 1  # repro-lint: off[REP004, REP005]\n")
+        assert table == {1: {"REP004", "REP005"}}
+
+    def test_bare_off_suppresses_everything(self):
+        table = parse_suppressions("x = 1  # repro-lint: off\n")
+        assert table == {1: {ALL_RULES}}
+        assert is_suppressed(table, 1, "REP001")
+        assert is_suppressed(table, 1, "REP006")
+
+    def test_unrelated_comment_is_not_a_suppression(self):
+        assert parse_suppressions("x = 1  # repro-lint-expect: REP004\n") == {}
+
+    def test_other_lines_unaffected(self):
+        table = parse_suppressions("x = 1  # repro-lint: off[REP004]\ny = 2\n")
+        assert not is_suppressed(table, 2, "REP004")
+
+
+class TestEngine:
+    def test_syntax_error_becomes_rep000(self):
+        findings = LintEngine().check_source("def broken(:\n", "mod.py")
+        assert len(findings) == 1
+        assert findings[0].rule == SYNTAX_RULE
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(ValueError, match="REP999"):
+            LintEngine(select=["REP999"])
+
+    def test_registry_has_all_six_rules(self):
+        assert set(REGISTRY) == {
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006"
+        }
+
+    def test_findings_sorted_by_position(self):
+        source = (
+            "def f(m, q, c, xs=[]):\n"
+            "    return m.true_cost(q, c)\n"
+        )
+        findings = LintEngine().check_source(source, "tuners/m.py")
+        assert [f.rule for f in findings] == ["REP006", "REP001"]
+        assert findings[0].line <= findings[1].line
+
+
+class TestBaseline:
+    def _finding(self, message="msg", path="src/m.py", rule="REP001"):
+        return Finding(rule=rule, path=path, line=3, col=0, message=message)
+
+    def test_split_partitions(self):
+        accepted_f = self._finding("accepted")
+        new_f = self._finding("brand new")
+        baseline = Baseline(
+            [
+                BaselineEntry(path="src/m.py", rule="REP001", message="accepted"),
+                BaselineEntry(path="src/m.py", rule="REP001", message="gone"),
+            ]
+        )
+        new, accepted, stale = baseline.split([accepted_f, new_f])
+        assert new == [new_f]
+        assert accepted == [accepted_f]
+        assert [entry.message for entry in stale] == ["gone"]
+
+    def test_line_drift_does_not_stale(self):
+        baseline = Baseline(
+            [BaselineEntry(path="src/m.py", rule="REP001", message="msg", line=99)]
+        )
+        new, accepted, stale = baseline.split([self._finding()])
+        assert not new and not stale and len(accepted) == 1
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([self._finding()]).save(path)
+        loaded = Baseline.load(path)
+        assert [entry.key for entry in loaded.entries] == [
+            ("src/m.py", "REP001", "msg")
+        ]
+
+
+class TestCli:
+    def _write_dirty(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("def f(xs=[]):\n    return xs\n", encoding="utf-8")
+        return target
+
+    def test_findings_exit_1(self, tmp_path, capsys):
+        target = self._write_dirty(tmp_path)
+        assert lint_main([str(target), "--no-baseline"]) == 1
+        assert "REP006" in capsys.readouterr().out
+
+    def test_clean_exit_0(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("def f(xs=None):\n    return xs\n", encoding="utf-8")
+        assert lint_main([str(target), "--no-baseline"]) == 0
+
+    def test_baseline_silences_and_exits_0(self, tmp_path, capsys):
+        target = self._write_dirty(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([str(target), "--write-baseline", str(baseline)]) == 0
+        assert lint_main([str(target), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+    def test_stale_baseline_reported_but_exit_0(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "path": "gone.py",
+                            "rule": "REP001",
+                            "message": "old",
+                            "justification": "was fixed",
+                        }
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        assert lint_main([str(target), "--baseline", str(baseline)]) == 0
+        assert "stale" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        target = self._write_dirty(tmp_path)
+        assert lint_main([str(target), "--no-baseline", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule"] == "REP006"
+        assert payload["baselined"] == []
+        assert payload["stale_baseline"] == []
+
+    def test_select_unknown_rule_exit_2(self, tmp_path, capsys):
+        target = self._write_dirty(tmp_path)
+        assert lint_main([str(target), "--select", "REP999"]) == 2
+
+    def test_missing_path_exit_2(self, tmp_path):
+        assert lint_main([str(tmp_path / "nope.py")]) == 2
+
+    def test_no_paths_exit_2(self):
+        assert lint_main([]) == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP001", "REP006"):
+            assert rule_id in out

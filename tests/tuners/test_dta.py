@@ -1,5 +1,7 @@
 """DTA simulation tests."""
 
+import random
+
 from repro.config import TuningConstraints
 from repro.tuners import DTATuner
 from repro.tuners.dta import merge_indexes
@@ -84,3 +86,38 @@ class TestDTA:
         most_expensive = max(costs, key=costs.get)
         first_qids = {entry.qid for entry in optimizer.call_log[:5]}
         assert most_expensive in first_qids
+
+
+class TestMergeDeterminism:
+    """The merge pass sorts its key space (REP004 discipline), so its output
+    — and everything downstream — cannot depend on pool arrival order."""
+
+    def test_merge_stable_under_shuffles(self, star_schema, toy_candidates):
+        reference = merge_indexes(list(toy_candidates), star_schema)
+        for seed in range(5):
+            shuffled = list(toy_candidates)
+            random.Random(seed).shuffle(shuffled)
+            assert merge_indexes(shuffled, star_schema) == reference
+
+    def test_dta_run_is_seed_stable(self, toy_workload, toy_candidates):
+        """Two identical runs produce bit-identical outcomes and layouts."""
+
+        def run():
+            return DTATuner(slice_queries=2).tune(
+                toy_workload,
+                budget=120,
+                constraints=TuningConstraints(max_indexes=5),
+                candidates=list(toy_candidates),
+            )
+
+        first, second = run(), run()
+        assert first.configuration == second.configuration
+        assert first.calls_used == second.calls_used
+        assert first.estimated_cost == second.estimated_cost
+        assert [
+            (c.ordinal, c.qid, c.configuration, c.cost)
+            for c in first.optimizer.call_log
+        ] == [
+            (c.ordinal, c.qid, c.configuration, c.cost)
+            for c in second.optimizer.call_log
+        ]
