@@ -56,7 +56,7 @@ def _sweep(settings):
 
 def test_ablation_design_choices(benchmark, settings, archive):
     results, text = run_once(benchmark, lambda: _sweep(settings))
-    archive("ablation_design_choices", text)
+    archive("ablation_design_choices", text, series={"variants": results})
     assert set(results) == set(VARIANTS)
     # Every variant must find some improvement; the defaults should not be
     # catastrophically beaten by any single knob change.

@@ -7,7 +7,18 @@ from repro.eval.experiments import figure2_whatif_time
 
 def test_fig02_whatif_time(benchmark, settings, archive):
     rows, text = run_once(benchmark, lambda: figure2_whatif_time(settings))
-    archive("fig02_whatif_time", text)
+    series = {
+        "whatif_share": [
+            {
+                "budget": budget,
+                "whatif_seconds": breakdown.whatif_seconds,
+                "other_seconds": breakdown.other_seconds,
+                "whatif_fraction": breakdown.whatif_fraction,
+            }
+            for budget, breakdown in rows
+        ]
+    }
+    archive("fig02_whatif_time", text, series=series)
     # The what-if share grows toward the paper's 75-93% band with budget.
     fractions = [breakdown.whatif_fraction for _, breakdown in rows]
     assert fractions == sorted(fractions)

@@ -7,7 +7,7 @@ from repro.eval.experiments import greedy_comparison
 
 def test_fig10_realm_greedy(benchmark, settings, archive):
     records, text = run_once(benchmark, lambda: greedy_comparison("real_m", settings))
-    archive("fig10_realm_greedy", text)
+    archive("fig10_realm_greedy", text, records=records)
     assert records, "experiment produced no records"
     tuners = {record.tuner for record in records}
     assert "mcts" in tuners or any("greedy" in t or "prior" in t or "uct" in t for t in tuners)

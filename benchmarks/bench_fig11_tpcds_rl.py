@@ -7,7 +7,7 @@ from repro.eval.experiments import rl_comparison
 
 def test_fig11_tpcds_rl(benchmark, settings, archive):
     records, text = run_once(benchmark, lambda: rl_comparison("tpcds", settings))
-    archive("fig11_tpcds_rl", text)
+    archive("fig11_tpcds_rl", text, records=records)
     assert records, "experiment produced no records"
     tuners = {record.tuner for record in records}
     assert "mcts" in tuners or any("greedy" in t or "prior" in t or "uct" in t for t in tuners)

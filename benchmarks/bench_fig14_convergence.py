@@ -16,7 +16,7 @@ def test_fig14_convergence(benchmark, settings, archive, workload, k):
     series, text = run_once(
         benchmark, lambda: convergence(workload, max_indexes=k, settings=settings)
     )
-    archive(f"fig14_convergence_{workload}", text)
+    archive(f"fig14_convergence_{workload}", text, series=series)
     assert set(series) == {"dba_bandits", "no_dba", "mcts"}
     for points in series.values():
         assert points, "every algorithm reports at least one round"

@@ -15,6 +15,6 @@ def test_fig15_dta(benchmark, settings, archive, workload, sc):
         lambda: dta_comparison(workload, settings, storage_constraint=sc),
     )
     suffix = "sc" if sc else "nosc"
-    archive(f"fig15_dta_{workload}_{suffix}", text)
+    archive(f"fig15_dta_{workload}_{suffix}", text, records=records)
     assert {record.tuner for record in records} == {"dta", "mcts"}
     assert all(record.calls_used <= record.budget for record in records)

@@ -7,7 +7,7 @@ from repro.eval.experiments import rl_comparison
 
 def test_fig19_tpch_rl(benchmark, settings, archive):
     records, text = run_once(benchmark, lambda: rl_comparison("tpch", settings))
-    archive("fig19_tpch_rl", text)
+    archive("fig19_tpch_rl", text, records=records)
     assert records, "experiment produced no records"
     tuners = {record.tuner for record in records}
     assert "mcts" in tuners or any("greedy" in t or "prior" in t or "uct" in t for t in tuners)

@@ -21,5 +21,5 @@ def test_fig20_dta_small(benchmark, settings, archive, workload, sc):
         lambda: dta_comparison(workload, settings, storage_constraint=sc),
     )
     suffix = "sc" if sc else "nosc"
-    archive(f"fig20_dta_{workload}_{suffix}", text)
+    archive(f"fig20_dta_{workload}_{suffix}", text, records=records)
     assert {record.tuner for record in records} == {"dta", "mcts"}

@@ -12,5 +12,5 @@ def test_fig21_convergence_small(benchmark, settings, archive, workload):
     series, text = run_once(
         benchmark, lambda: convergence(workload, max_indexes=10, settings=settings)
     )
-    archive(f"fig21_convergence_{workload}", text)
+    archive(f"fig21_convergence_{workload}", text, series=series)
     assert set(series) == {"dba_bandits", "no_dba", "mcts"}

@@ -18,7 +18,7 @@ def test_fig22_ablation_fixed(benchmark, settings, archive, workload):
     records, text = run_once(
         benchmark, lambda: ablation(workload, "myopic", settings)
     )
-    archive(f"fig22_ablation_fixed_{workload}", text)
+    archive(f"fig22_ablation_fixed_{workload}", text, records=records)
     assert {record.tuner for record in records} == {
         "uct_only",
         "uct_greedy",

@@ -14,7 +14,7 @@ def test_fig23_ablation_random(benchmark, settings, archive, workload):
     records, text = run_once(
         benchmark, lambda: ablation(workload, "random", settings)
     )
-    archive(f"fig23_ablation_random_{workload}", text)
+    archive(f"fig23_ablation_random_{workload}", text, records=records)
     assert {record.tuner for record in records} == {
         "uct_only",
         "uct_greedy",

@@ -1,0 +1,111 @@
+"""Parallel executor: wall-clock speedup and bit-identity on one grid.
+
+Runs the TPC-H greedy+MCTS grid serially (``--jobs 1`` equivalent) and
+through the process pool (4 workers), asserts the records are
+bit-identical (the determinism contract of repro.parallel), and archives
+the measured speedup.
+
+The ≥ 2.5x speedup floor is only asserted when the machine actually has
+enough cores (≥ 4) — on smaller runners the bench still validates
+bit-identity and archives the measurement.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import run_once
+
+from repro.eval.runner import ExperimentRunner
+from repro.tuners import AutoAdminGreedyTuner, MCTSTuner, VanillaGreedyTuner
+
+JOBS = 4
+SPEEDUP_FLOOR = 2.5
+
+#: Deterministic record fields (everything but the wall-clock measurements).
+_IDENTICAL_FIELDS = (
+    "workload",
+    "tuner",
+    "max_indexes",
+    "budget",
+    "improvement_mean",
+    "improvement_std",
+    "calls_used",
+    "cache_hit_rate",
+    "normalized_hits",
+    "budget_policy",
+    "event_counts",
+    "stop_reasons",
+    "seeds",
+)
+
+
+def _roster():
+    return {
+        "vanilla_greedy": (lambda seed: VanillaGreedyTuner(), False),
+        "autoadmin_greedy": (lambda seed: AutoAdminGreedyTuner(), False),
+        "mcts": (lambda seed: MCTSTuner(seed=seed), True),
+    }
+
+
+def _run(settings, jobs: int):
+    workload = settings.workload("tpch")
+    runner = ExperimentRunner(
+        workload,
+        seeds=settings.seed_list(),
+        keep_results=False,
+        parallel=jobs,
+    )
+    budgets = settings.budgets_for("tpch")
+    start = time.perf_counter()
+    records = runner.run_grid(_roster(), budgets, list(settings.k_values))
+    return records, time.perf_counter() - start
+
+
+def test_parallel_speedup(benchmark, settings, archive):
+    def run():
+        serial_records, serial_seconds = _run(settings, jobs=1)
+        pooled_records, pooled_seconds = _run(settings, jobs=JOBS)
+        return serial_records, serial_seconds, pooled_records, pooled_seconds
+
+    serial_records, serial_seconds, pooled_records, pooled_seconds = run_once(
+        benchmark, run
+    )
+
+    # Determinism contract: identical records, grid order included.
+    assert len(serial_records) == len(pooled_records)
+    for a, b in zip(serial_records, pooled_records):
+        for field in _IDENTICAL_FIELDS:
+            assert getattr(a, field) == getattr(b, field), (
+                f"{a.tuner} K={a.max_indexes} B={a.budget}: {field} diverged"
+            )
+
+    speedup = serial_seconds / pooled_seconds if pooled_seconds > 0 else 0.0
+    cores = os.cpu_count() or 1
+    lines = [
+        "Parallel executor speedup — TPC-H greedy+MCTS grid",
+        f"  cells: {len(serial_records)}  cores: {cores}  jobs: {JOBS}",
+        f"  serial:   {serial_seconds:8.2f}s",
+        f"  parallel: {pooled_seconds:8.2f}s",
+        f"  speedup:  {speedup:8.2f}x  (floor {SPEEDUP_FLOOR}x, asserted "
+        f"only with >= {JOBS} cores)",
+        "  records bit-identical across jobs: yes",
+    ]
+    series = {
+        "speedup": {
+            "jobs": JOBS,
+            "cores": cores,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": pooled_seconds,
+            "speedup": speedup,
+            "cells": len(serial_records),
+        }
+    }
+    archive("parallel_speedup", "\n".join(lines), series=series)
+
+    if cores >= JOBS:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"parallel speedup {speedup:.2f}x below the {SPEEDUP_FLOOR}x "
+            f"floor on a {cores}-core machine"
+        )

@@ -136,7 +136,14 @@ def test_whatif_throughput(benchmark, archive):
         "  seed baselines (calls/sec): "
         + ", ".join(f"{k}={v:,}" for k, v in SEED_CALLS_PER_SEC.items())
     )
-    archive("whatif_throughput", "\n".join(lines))
+    series = {
+        "throughput": [row for row in rows if isinstance(row, dict)],
+        "batched_pairs_per_sec": {
+            row[0]: row[1] for row in rows if isinstance(row, tuple)
+        },
+        "speedup_vs_seed": speedups,
+    }
+    archive("whatif_throughput", "\n".join(lines), series=series)
 
     for name, floor in SPEEDUP_FLOOR.items():
         assert speedups[name] >= floor, (

@@ -2,37 +2,70 @@
 
 Every bench target runs one paper experiment exactly once (wall-clock is
 reported by pytest-benchmark), prints the paper-style report, and archives
-it under ``benchmarks/reports/`` so EXPERIMENTS.md can reference the rows.
+it under ``benchmarks/reports/`` — the human-readable ``<name>.txt`` and,
+when the target passes its records/series along, a machine-readable
+``BENCH_<name>.json`` (see :func:`repro.eval.report.bench_payload`) with
+improvement means/stds, per-seed raw metrics, calls used, wall seconds,
+cache hit rates, scale/seed/jobs metadata and the git SHA — the archive CI
+tracks the perf trajectory with.
 
 Scaling knobs (environment):
     REPRO_SCALE  budget multiplier (default 0.1; 1 = the paper's grids)
     REPRO_SEEDS  seeds for stochastic algorithms (default 3; paper uses 5)
     REPRO_KS     cardinality grid (default "5,10,20")
+    REPRO_JOBS   worker processes for experiment grids (default 1)
+
+``pytest benchmarks --jobs N`` overrides REPRO_JOBS for the run; parallel
+grids are bit-identical to serial ones (see repro.parallel).
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+from dataclasses import replace
 
 import pytest
 
 from repro.eval.experiments import ExperimentSettings
+from repro.eval.report import bench_payload
 
 REPORT_DIR = pathlib.Path(__file__).parent / "reports"
 
 
-@pytest.fixture(scope="session")
-def settings() -> ExperimentSettings:
-    return ExperimentSettings.from_env()
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        action="store",
+        type=int,
+        default=None,
+        help="worker processes for experiment grids (overrides REPRO_JOBS)",
+    )
 
 
 @pytest.fixture(scope="session")
-def archive():
-    """Callable that archives a report under benchmarks/reports/."""
+def settings(request) -> ExperimentSettings:
+    settings = ExperimentSettings.from_env()
+    jobs = request.config.getoption("--jobs")
+    if jobs is not None:
+        settings = replace(settings, jobs=max(1, jobs))
+    return settings
+
+
+@pytest.fixture(scope="session")
+def archive(settings):
+    """Callable archiving a report (and optional BENCH JSON payload)."""
     REPORT_DIR.mkdir(exist_ok=True)
 
-    def _archive(name: str, text: str) -> None:
+    def _archive(name: str, text: str, records=None, series=None) -> None:
         (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+        if records is not None or series is not None:
+            payload = bench_payload(
+                name, settings=settings, records=records, series=series
+            )
+            (REPORT_DIR / f"BENCH_{name}.json").write_text(
+                json.dumps(payload, indent=2) + "\n"
+            )
         print("\n" + text)
 
     return _archive

@@ -3,13 +3,16 @@
 Commands:
     workloads               list the built-in workloads with their statistics
     tune                    run a budget-aware tuning session
+    eval                    run a registered paper experiment (figures/tables)
     explain                 show a query's hypothetical plan under a config
     compress                compress a workload and show the representatives
 
 Examples:
     python -m repro workloads
     python -m repro tune --workload tpch --budget 300 --max-indexes 10
+    python -m repro tune --workload tpch --budget 300 --seeds 5 --jobs 4
     python -m repro tune --workload tpcds --algo two_phase --minutes 30
+    python -m repro eval --figure fig17 --jobs 4 --json reports/BENCH_fig17.json
     python -m repro explain --workload tpch --query q3 --budget 100
     python -m repro compress --workload tpcds --target 20
 """
@@ -23,9 +26,13 @@ from dataclasses import replace
 
 from repro.budget.policy import POLICY_NAMES
 from repro.config import MCTSConfig, ReproConfig, TuningConstraints
+from repro.eval.experiments import EXPERIMENTS, ExperimentSettings, run_experiment
+from repro.eval.report import bench_payload
+from repro.eval.runner import ExperimentRunner
 from repro.eval.timemodel import WhatIfTimeModel
 from repro.exceptions import ReproError
 from repro.optimizer.whatif import WhatIfOptimizer
+from repro.rng import spawn_seeds
 from repro.tuners import (
     AutoAdminGreedyTuner,
     DBABanditTuner,
@@ -97,6 +104,28 @@ def _build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--sanitize", action="store_true",
                       help="install the runtime sanitizers (monotonicity + "
                            "event-stream invariants; see repro.lint.sanitizers)")
+    tune.add_argument("--seeds", type=int, default=1,
+                      help="run this many seeded repetitions (spawned from "
+                           "--seed) and report mean ± std (default 1)")
+    tune.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for --seeds > 1 (default 1; "
+                           "results are bit-identical to --jobs 1)")
+
+    ev = sub.add_parser("eval", help="run a registered paper experiment")
+    ev.add_argument("--figure", required=True, choices=sorted(EXPERIMENTS),
+                    help="experiment id (fig02..fig23, table1)")
+    ev.add_argument("--scale", type=float, default=None,
+                    help="budget multiplier (default: REPRO_SCALE or 0.1)")
+    ev.add_argument("--seeds", type=int, default=None,
+                    help="stochastic seed count (default: REPRO_SEEDS or 3)")
+    ev.add_argument("--ks", default=None,
+                    help="cardinality grid, e.g. '5,10,20' (default: REPRO_KS)")
+    ev.add_argument("--jobs", type=int, default=None,
+                    help="worker processes for the grid (default: REPRO_JOBS "
+                         "or 1); bit-identical to a serial run")
+    ev.add_argument("--json", default=None, metavar="PATH",
+                    help="write the machine-readable BENCH payload to PATH "
+                         "('-' for stdout)")
 
     explain = sub.add_parser("explain", help="show a hypothetical plan")
     explain.add_argument("--workload", required=True, choices=available_workloads())
@@ -141,6 +170,51 @@ def _write_trace(result, destination: str) -> None:
     print(f"trace: {len(lines)} events -> {destination}")
 
 
+def _cmd_tune_multi_seed(args: argparse.Namespace, workload, constraints) -> int:
+    """``tune --seeds N [--jobs M]``: seed-averaged runs, mean ± std."""
+    if args.minutes is not None:
+        print("error: --seeds > 1 requires --budget (not --minutes)",
+              file=sys.stderr)
+        return 2
+    if args.trace is not None or args.sanitize:
+        print("error: --trace/--sanitize apply to single runs; drop --seeds "
+              "or set REPRO_SANITIZE=1 for sanitized multi-seed runs",
+              file=sys.stderr)
+        return 2
+
+    def factory(seed: int):
+        return _ALGORITHMS[args.algo](
+            argparse.Namespace(**{**vars(args), "seed": seed})
+        )
+
+    runner = ExperimentRunner(
+        workload,
+        seeds=spawn_seeds(args.seed, args.seeds),
+        keep_results=False,
+        parallel=args.jobs,
+    )
+    record = runner.run_cell(
+        factory,
+        args.budget,
+        constraints,
+        stochastic=True,
+        budget_policy=args.budget_policy,
+    )
+    print(
+        f"{record.tuner}: {record.improvement_mean:.1f}% ± "
+        f"{record.improvement_std:.1f} improvement over {args.seeds} seeds "
+        f"({args.jobs} job{'s' if args.jobs != 1 else ''}), "
+        f"{record.calls_used:.1f} what-if calls used on average"
+    )
+    for metrics in record.seed_metrics:
+        stop = f", stopped: {metrics['stop_reason']}" if metrics["stop_reason"] else ""
+        print(
+            f"  seed {metrics['seed']:>10d}: {metrics['improvement']:6.1f}% "
+            f"in {metrics['calls_used']} calls{stop}"
+        )
+    return 0
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload, scale=args.scale)
     constraints = TuningConstraints(
@@ -150,6 +224,14 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         ),
         min_improvement_percent=args.min_improvement,
     )
+    if args.seeds < 1:
+        print(f"error: --seeds must be positive, got {args.seeds}", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print(f"error: --jobs must be positive, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.seeds > 1:
+        return _cmd_tune_multi_seed(args, workload, constraints)
     tuner = _ALGORITHMS[args.algo](args)
     optimizer_config = (
         replace(ReproConfig.from_env(), sanitize=True) if args.sanitize else None
@@ -202,6 +284,44 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_eval(args: argparse.Namespace) -> int:
+    settings = ExperimentSettings.from_env()
+    overrides = {}
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.seeds is not None:
+        overrides["seeds"] = args.seeds
+    if args.ks is not None:
+        overrides["k_values"] = tuple(
+            int(k) for k in args.ks.split(",") if k.strip()
+        )
+    if args.jobs is not None:
+        if args.jobs < 1:
+            print(f"error: --jobs must be positive, got {args.jobs}",
+                  file=sys.stderr)
+            return 2
+        overrides["jobs"] = args.jobs
+    if overrides:
+        settings = replace(settings, **overrides)
+    artifact = run_experiment(args.figure, settings)
+    print(artifact.text)
+    if args.json is not None:
+        payload = bench_payload(
+            artifact.figure,
+            settings=settings,
+            records=artifact.records,
+            series=artifact.series,
+        )
+        text = json.dumps(payload, indent=2)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"bench archive: {len(artifact.records)} records -> {args.json}")
+    return 0
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload, scale=args.scale)
     query = workload.query(args.query)
@@ -243,6 +363,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "workloads": _cmd_workloads,
         "tune": _cmd_tune,
+        "eval": _cmd_eval,
         "explain": _cmd_explain,
         "compress": _cmd_compress,
     }

@@ -10,18 +10,28 @@ TPC-DS/Real-D/Real-M) are multiplied by ``REPRO_SCALE`` (default 0.1 — a
 single-core-friendly run; set ``REPRO_SCALE=1`` for the full grids). The
 number of MCTS seeds defaults to 3 (``REPRO_SEEDS``; the paper uses 5), and
 the cardinality grid defaults to the paper's {5, 10, 20} (``REPRO_KS``).
+``REPRO_JOBS`` (default 1) fans the independent (tuner, K, B, seed) cells
+out to that many worker processes — records are bit-identical to a serial
+run (see :mod:`repro.parallel`).
+
+:data:`EXPERIMENTS` maps stable figure ids (``fig02`` … ``fig23``,
+``table1``) to runners producing an :class:`ExperimentArtifact`; the
+``python -m repro eval`` command and the benchmark archive both dispatch
+through it.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.config import ABLATION_PRESETS, MCTSConfig, TuningConstraints
 from repro.eval.metrics import round_series
 from repro.eval.report import format_grid, format_records, format_series
 from repro.eval.runner import ExperimentRunner, RunRecord, TunerFactory
 from repro.eval.timemodel import WhatIfTimeModel
+from repro.exceptions import TuningError
 from repro.rng import DEFAULT_SEED, spawn_seeds
 from repro.tuners import (
     AutoAdminGreedyTuner,
@@ -51,11 +61,14 @@ class ExperimentSettings:
         scale: Budget multiplier (``REPRO_SCALE``); 1.0 = paper grids.
         seeds: MCTS/stochastic seed count (``REPRO_SEEDS``); paper uses 5.
         k_values: Cardinality grid (``REPRO_KS``).
+        jobs: Worker processes for grid execution (``REPRO_JOBS``); 1 runs
+            serially, N > 1 is bit-identical but concurrent.
     """
 
     scale: float = 0.1
     seeds: int = 3
     k_values: tuple[int, ...] = (5, 10, 20)
+    jobs: int = 1
 
     @classmethod
     def from_env(cls) -> "ExperimentSettings":
@@ -63,7 +76,8 @@ class ExperimentSettings:
         seeds = int(os.environ.get("REPRO_SEEDS", "3"))
         ks_raw = os.environ.get("REPRO_KS", "5,10,20")
         ks = tuple(int(k) for k in ks_raw.split(",") if k.strip())
-        return cls(scale=scale, seeds=seeds, k_values=ks)
+        jobs = max(1, int(os.environ.get("REPRO_JOBS", "1")))
+        return cls(scale=scale, seeds=seeds, k_values=ks, jobs=jobs)
 
     def budgets_for(self, workload_name: str) -> list[int]:
         grid = SMALL_BUDGETS if workload_name in _SMALL_GRID else LARGE_BUDGETS
@@ -164,17 +178,22 @@ def figure2_whatif_time(settings: ExperimentSettings | None = None) -> tuple[lis
     workload = settings.workload("tpcds")
     model = WhatIfTimeModel(workload)
     budgets = settings.budgets_for("tpcds")
-    runner = ExperimentRunner(workload, seeds=settings.seed_list(), keep_results=False)
+    runner = ExperimentRunner(
+        workload,
+        seeds=settings.seed_list(),
+        keep_results=False,
+        parallel=settings.jobs,
+    )
     constraints = TuningConstraints(max_indexes=20)
+    records = runner.run_budget_sweep(
+        lambda seed: VanillaGreedyTuner(), budgets, constraints, stochastic=False
+    )
     rows = []
     lines = [
         "Figure 2: TPC-DS tuning time decomposition (greedy, K=20)",
         f"  {'budget':>8s} {'whatif_min':>11s} {'other_min':>10s} {'whatif_share':>13s}",
     ]
-    for budget in budgets:
-        record = runner.run_cell(
-            lambda seed: VanillaGreedyTuner(), budget, constraints, stochastic=False
-        )
+    for budget, record in zip(budgets, records, strict=True):
         breakdown = model.breakdown(int(record.calls_used))
         rows.append((budget, breakdown))
         lines.append(
@@ -193,7 +212,12 @@ def _grid_experiment(
     max_storage_bytes: int | None = None,
 ) -> tuple[list[RunRecord], str]:
     workload = settings.workload(workload_name)
-    runner = ExperimentRunner(workload, seeds=settings.seed_list(), keep_results=False)
+    runner = ExperimentRunner(
+        workload,
+        seeds=settings.seed_list(),
+        keep_results=False,
+        parallel=settings.jobs,
+    )
     budgets = settings.budgets_for(workload_name)
     records = runner.run_grid(
         roster, budgets, list(settings.k_values), max_storage_bytes
@@ -336,4 +360,131 @@ def ablation(
         settings,
         f"{figure}: {workload_name} — MCTS policy ablation ({step} rollout)",
     )
+
+
+# --------------------------------------------------------------------- #
+# experiment registry (the ``python -m repro eval`` dispatch table)
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class ExperimentArtifact:
+    """One experiment's outputs in archive-ready form.
+
+    Attributes:
+        figure: The registry id that produced it.
+        text: The paper-style text report.
+        records: Flat grid records (empty for series-only experiments).
+        series: JSON-ready non-grid data (convergence series, the Figure 2
+            time decomposition, …); ``None`` when the experiment is purely
+            a record grid.
+    """
+
+    figure: str
+    text: str
+    records: list[RunRecord] = field(default_factory=list)
+    series: dict | None = None
+
+
+def _run_table1(settings: ExperimentSettings) -> ExperimentArtifact:
+    return ExperimentArtifact("table1", table1_workload_statistics(settings))
+
+
+def _run_fig02(settings: ExperimentSettings) -> ExperimentArtifact:
+    rows, text = figure2_whatif_time(settings)
+    series = {
+        "whatif_share": [
+            {
+                "budget": budget,
+                "whatif_seconds": breakdown.whatif_seconds,
+                "other_seconds": breakdown.other_seconds,
+                "whatif_fraction": breakdown.whatif_fraction,
+            }
+            for budget, breakdown in rows
+        ]
+    }
+    return ExperimentArtifact("fig02", text, series=series)
+
+
+def _grid_entry(figure: str, fn, workload_name: str):
+    def run(settings: ExperimentSettings) -> ExperimentArtifact:
+        records, text = fn(workload_name, settings)
+        return ExperimentArtifact(figure, text, records=records)
+
+    return run
+
+
+def _dta_entry(figure: str, variants: list[tuple[str, bool]]):
+    def run(settings: ExperimentSettings) -> ExperimentArtifact:
+        records: list[RunRecord] = []
+        texts: list[str] = []
+        for workload_name, storage_constraint in variants:
+            sub, text = dta_comparison(
+                workload_name, settings, storage_constraint=storage_constraint
+            )
+            records.extend(sub)
+            texts.append(text)
+        return ExperimentArtifact(figure, "\n\n".join(texts), records=records)
+
+    return run
+
+
+def _convergence_entry(figure: str, workload_name: str, max_indexes: int):
+    def run(settings: ExperimentSettings) -> ExperimentArtifact:
+        series, text = convergence(workload_name, max_indexes, settings)
+        return ExperimentArtifact(
+            figure,
+            text,
+            series={label: [list(point) for point in points] for label, points in series.items()},
+        )
+
+    return run
+
+
+def _ablation_entry(figure: str, workload_name: str, rollout_policy: str):
+    def run(settings: ExperimentSettings) -> ExperimentArtifact:
+        records, text = ablation(workload_name, rollout_policy, settings)
+        return ExperimentArtifact(figure, text, records=records)
+
+    return run
+
+
+#: Stable experiment ids → artifact runners. Multi-panel figures run their
+#: primary panel(s): fig14 is the TPC-DS panel, fig21 the TPC-H panel,
+#: fig15 TPC-DS with and without the storage constraint, fig20 the paper's
+#: three (workload, SC) combinations, fig22/fig23 the TPC-H panel.
+EXPERIMENTS: dict[str, Callable[[ExperimentSettings], ExperimentArtifact]] = {
+    "table1": _run_table1,
+    "fig02": _run_fig02,
+    "fig08": _grid_entry("fig08", greedy_comparison, "tpcds"),
+    "fig09": _grid_entry("fig09", greedy_comparison, "real_d"),
+    "fig10": _grid_entry("fig10", greedy_comparison, "real_m"),
+    "fig11": _grid_entry("fig11", rl_comparison, "tpcds"),
+    "fig12": _grid_entry("fig12", rl_comparison, "real_d"),
+    "fig13": _grid_entry("fig13", rl_comparison, "real_m"),
+    "fig14": _convergence_entry("fig14", "tpcds", 10),
+    "fig15": _dta_entry("fig15", [("tpcds", True), ("tpcds", False)]),
+    "fig16": _grid_entry("fig16", greedy_comparison, "job"),
+    "fig17": _grid_entry("fig17", greedy_comparison, "tpch"),
+    "fig18": _grid_entry("fig18", rl_comparison, "job"),
+    "fig19": _grid_entry("fig19", rl_comparison, "tpch"),
+    "fig20": _dta_entry(
+        "fig20", [("job", False), ("tpch", True), ("tpch", False)]
+    ),
+    "fig21": _convergence_entry("fig21", "tpch", 10),
+    "fig22": _ablation_entry("fig22", "tpch", "myopic"),
+    "fig23": _ablation_entry("fig23", "tpch", "random"),
+}
+
+
+def run_experiment(
+    figure: str, settings: ExperimentSettings | None = None
+) -> ExperimentArtifact:
+    """Run one registered experiment by id (see :data:`EXPERIMENTS`)."""
+    if figure not in EXPERIMENTS:
+        raise TuningError(
+            f"unknown experiment {figure!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    settings = settings or ExperimentSettings.from_env()
+    return EXPERIMENTS[figure](settings)
 

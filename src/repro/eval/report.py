@@ -9,34 +9,162 @@ stochastic algorithms.
 from __future__ import annotations
 
 import json
+import math
+import os
+import subprocess
+import sys
+import time
 
 from repro.eval.runner import RunRecord
 
+#: Version of the ``BENCH_*.json`` archive layout (bump on breaking change).
+BENCH_SCHEMA_VERSION = 1
+
+
+def record_to_dict(record: RunRecord) -> dict:
+    """One record as JSON-ready scalars.
+
+    Aggregates follow the :class:`~repro.eval.runner.RunRecord`
+    conventions — means across seeds for ``calls_used``/``seconds``/cache
+    counters, a **sum** across seeds for ``event_counts`` — and
+    ``seed_metrics`` carries the raw per-seed values those aggregates were
+    computed from, so downstream tools can re-derive or re-weight them.
+    (Live per-seed result objects are never exported.)
+    """
+    return {
+        "workload": record.workload,
+        "tuner": record.tuner,
+        "max_indexes": record.max_indexes,
+        "budget": record.budget,
+        "improvement_mean": record.improvement_mean,
+        "improvement_std": record.improvement_std,
+        "calls_used": record.calls_used,
+        "seconds": record.seconds,
+        "cache_hit_rate": record.cache_hit_rate,
+        "normalized_hits": record.normalized_hits,
+        "cost_seconds": record.cost_seconds,
+        "budget_policy": record.budget_policy,
+        "event_counts": record.event_counts,
+        "stop_reasons": record.stop_reasons,
+        "seeds": record.seeds,
+        "seed_metrics": record.seed_metrics,
+    }
+
 
 def records_to_json(records: list[RunRecord], indent: int | None = 2) -> str:
-    """Serialise records for downstream plotting tools.
+    """Serialise records for downstream plotting tools."""
+    return json.dumps([record_to_dict(r) for r in records], indent=indent)
 
-    Only scalar fields are exported (the per-seed result objects carry live
-    optimizers and are not serialisable).
+
+def _git_sha() -> str:
+    """The current commit SHA (CI env first, then git, else ``unknown``)."""
+    for var in ("GITHUB_SHA", "CI_COMMIT_SHA"):
+        sha = os.environ.get(var)
+        if sha:
+            return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except OSError:
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def bench_payload(
+    figure: str,
+    settings=None,
+    records: list[RunRecord] | None = None,
+    series: dict | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """The machine-readable ``BENCH_<figure>.json`` archive payload.
+
+    Schema (version :data:`BENCH_SCHEMA_VERSION`):
+
+    - ``figure``, ``schema_version``, ``git_sha``, ``generated_at``
+      (epoch seconds), ``python`` — provenance;
+    - ``settings`` — the scale/seed/K/jobs knobs the run used
+      (an :class:`~repro.eval.experiments.ExperimentSettings` or a plain
+      dict);
+    - ``records`` — per-cell aggregates **plus raw per-seed metrics**
+      (:func:`record_to_dict`), so means/stds are reconstructible;
+    - ``series`` — non-grid data (convergence rounds, time breakdowns);
+    - anything passed via ``extra`` is merged at the top level.
     """
-    payload = [
-        {
-            "workload": r.workload,
-            "tuner": r.tuner,
-            "max_indexes": r.max_indexes,
-            "budget": r.budget,
-            "improvement_mean": r.improvement_mean,
-            "improvement_std": r.improvement_std,
-            "calls_used": r.calls_used,
-            "seconds": r.seconds,
-            "cache_hit_rate": r.cache_hit_rate,
-            "normalized_hits": r.normalized_hits,
-            "cost_seconds": r.cost_seconds,
-            "seeds": r.seeds,
+    if settings is None:
+        settings_dict: dict = {}
+    elif isinstance(settings, dict):
+        settings_dict = dict(settings)
+    else:
+        settings_dict = {
+            "scale": settings.scale,
+            "seeds": settings.seeds,
+            "k_values": list(settings.k_values),
+            "jobs": settings.jobs,
         }
-        for r in records
-    ]
-    return json.dumps(payload, indent=indent)
+    payload = {
+        "figure": figure,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "git_sha": _git_sha(),
+        "generated_at": time.time(),
+        "python": sys.version.split()[0],
+        "settings": settings_dict,
+        "records": [record_to_dict(r) for r in records] if records else [],
+        "series": series or {},
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def _non_finite_paths(node, path: str, problems: list[str]) -> None:
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        if not math.isfinite(node):
+            problems.append(f"non-finite value at {path}: {node!r}")
+        return
+    if isinstance(node, dict):
+        for key, value in node.items():
+            _non_finite_paths(value, f"{path}.{key}", problems)
+        return
+    if isinstance(node, (list, tuple)):
+        for i, value in enumerate(node):
+            _non_finite_paths(value, f"{path}[{i}]", problems)
+
+
+def validate_bench_payload(payload: dict) -> list[str]:
+    """Sanity-check one BENCH archive; returns problems (empty = valid).
+
+    Flags what CI must never upload silently: a payload with neither
+    records nor series, records with no seeds, NaN/Inf anywhere in the
+    numeric data, empty series lists, and missing provenance (figure id or
+    git SHA).
+    """
+    problems: list[str] = []
+    if not payload.get("figure"):
+        problems.append("missing figure id")
+    if not payload.get("git_sha") or payload.get("git_sha") == "unknown":
+        problems.append("missing git SHA")
+    records = payload.get("records") or []
+    series = payload.get("series") or {}
+    if not records and not series:
+        problems.append("payload has neither records nor series")
+    for i, record in enumerate(records):
+        if not record.get("seeds"):
+            problems.append(f"records[{i}] has no seeds")
+    for label, points in series.items() if isinstance(series, dict) else []:
+        if isinstance(points, (list, tuple)) and not points:
+            problems.append(f"series {label!r} is empty")
+    _non_finite_paths(records, "records", problems)
+    _non_finite_paths(series, "series", problems)
+    return problems
 
 
 def format_records(records: list[RunRecord]) -> str:

@@ -65,6 +65,24 @@ class InvariantViolationError(ReproError):
     """
 
 
+class ParallelExecutionError(ReproError):
+    """Raised when a parallel experiment cell fails in a worker process.
+
+    Carries the failing cell's roster ``label`` and RNG ``seed`` so a
+    crashed worker points at one grid cell instead of hanging the pool or
+    surfacing an anonymous traceback.
+
+    Attributes:
+        label: Roster label of the failing cell (``""`` when unknown).
+        seed: RNG seed of the failing cell (``None`` when unknown).
+    """
+
+    def __init__(self, message: str, label: str = "", seed: int | None = None):
+        super().__init__(message)
+        self.label = label
+        self.seed = seed
+
+
 class TuningError(ReproError):
     """Raised for invalid tuning requests (e.g., non-positive budget)."""
 

@@ -121,3 +121,71 @@ class TestMoreExperiments:
         ]
         assert list(rl_roster()) == ["dba_bandits", "no_dba", "mcts"]
         assert list(dta_roster()) == ["dta", "mcts"]
+
+
+class TestJobsSetting:
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert ExperimentSettings.from_env().jobs == 1
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert ExperimentSettings.from_env().jobs == 4
+
+    def test_clamped_to_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert ExperimentSettings.from_env().jobs == 1
+
+    def test_parallel_grid_matches_serial(self):
+        serial = ExperimentSettings(scale=0.02, seeds=2, k_values=(3,), jobs=1)
+        pooled = ExperimentSettings(scale=0.02, seeds=2, k_values=(3,), jobs=2)
+        records_serial, _ = greedy_comparison("tpch", serial)
+        records_pooled, _ = greedy_comparison("tpch", pooled)
+        for a, b in zip(records_serial, records_pooled):
+            assert (a.tuner, a.max_indexes, a.budget) == (
+                b.tuner, b.max_indexes, b.budget
+            )
+            assert a.improvement_mean == b.improvement_mean
+            assert a.calls_used == b.calls_used
+            assert a.seeds == b.seeds
+
+
+class TestRegistry:
+    def test_known_ids(self):
+        from repro.eval.experiments import EXPERIMENTS
+
+        assert {"table1", "fig02", "fig17", "fig20", "fig21"} <= set(EXPERIMENTS)
+
+    def test_unknown_id_rejected(self):
+        from repro.exceptions import TuningError
+
+        from repro.eval.experiments import run_experiment
+
+        with pytest.raises(TuningError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_grid_artifact(self, tiny):
+        from repro.eval.experiments import run_experiment
+
+        artifact = run_experiment("fig17", tiny)
+        assert artifact.figure == "fig17"
+        assert artifact.records
+        assert artifact.series is None
+        assert "Figure 17" in artifact.text
+        assert all(r.seed_metrics for r in artifact.records)
+
+    def test_series_artifact(self, tiny):
+        from repro.eval.experiments import run_experiment
+
+        artifact = run_experiment("fig02", tiny)
+        assert not artifact.records
+        assert len(artifact.series["whatif_share"]) == 5
+
+    def test_convergence_artifact_is_json_ready(self, tiny):
+        import json
+
+        from repro.eval.experiments import run_experiment
+
+        artifact = run_experiment("fig21", tiny)
+        json.dumps(artifact.series)
+        assert set(artifact.series) == {"dba_bandits", "no_dba", "mcts"}

@@ -4,7 +4,7 @@ from repro.eval.report import format_grid, format_records, format_series
 from repro.eval.runner import RunRecord
 
 
-def record(tuner="mcts", k=5, budget=100, mean=42.0, std=1.5):
+def record(tuner="mcts", k=5, budget=100, mean=42.0, std=1.5, **extra):
     return RunRecord(
         workload="toy",
         tuner=tuner,
@@ -14,6 +14,7 @@ def record(tuner="mcts", k=5, budget=100, mean=42.0, std=1.5):
         improvement_std=std,
         calls_used=float(budget),
         seconds=0.1,
+        **extra,
     )
 
 
@@ -88,10 +89,121 @@ class TestJSONExport:
             "cache_hit_rate",
             "normalized_hits",
             "cost_seconds",
+            "budget_policy",
+            "event_counts",
+            "stop_reasons",
             "seeds",
+            "seed_metrics",
         }
 
     def test_compact_mode(self):
         from repro.eval.report import records_to_json
 
         assert "\n" not in records_to_json([record()], indent=None)
+
+
+class TestBenchPayload:
+    def _payload(self, **kwargs):
+        from repro.eval.report import bench_payload
+
+        defaults = dict(figure="fig17", records=[record(seeds=[1])])
+        defaults.update(kwargs)
+        return bench_payload(**defaults)
+
+    def test_provenance_fields(self):
+        from repro.eval.report import BENCH_SCHEMA_VERSION
+
+        payload = self._payload()
+        assert payload["figure"] == "fig17"
+        assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+        assert payload["git_sha"] not in ("", None)
+        assert payload["generated_at"] > 0
+        assert payload["python"].count(".") == 2
+
+    def test_settings_embedded(self):
+        from repro.eval.experiments import ExperimentSettings
+
+        payload = self._payload(
+            settings=ExperimentSettings(scale=0.02, seeds=1, k_values=(5,), jobs=2)
+        )
+        assert payload["settings"] == {
+            "scale": 0.02,
+            "seeds": 1,
+            "k_values": [5],
+            "jobs": 2,
+        }
+
+    def test_records_carry_seed_metrics(self):
+        payload = self._payload(
+            records=[record(seeds=[1], seed_metrics=[{"seed": 1, "improvement": 42.0}])]
+        )
+        assert payload["records"][0]["seed_metrics"] == [
+            {"seed": 1, "improvement": 42.0}
+        ]
+
+    def test_json_serializable(self):
+        import json
+
+        json.dumps(self._payload(series={"conv": [(1, 10.0)]}))
+
+    def test_extra_merged_at_top_level(self):
+        assert self._payload(extra={"note": "x"})["note"] == "x"
+
+
+class TestValidateBenchPayload:
+    def _valid(self, **kwargs):
+        from repro.eval.report import bench_payload
+
+        defaults = dict(figure="fig17", records=[record(seeds=[1])])
+        defaults.update(kwargs)
+        return bench_payload(**defaults)
+
+    def test_valid_payload_passes(self):
+        from repro.eval.report import validate_bench_payload
+
+        assert validate_bench_payload(self._valid()) == []
+
+    def test_empty_payload_flagged(self):
+        from repro.eval.report import validate_bench_payload
+
+        problems = validate_bench_payload(self._valid(records=None))
+        assert any("neither records nor series" in p for p in problems)
+
+    def test_missing_figure_flagged(self):
+        from repro.eval.report import validate_bench_payload
+
+        payload = self._valid()
+        payload["figure"] = ""
+        assert any("figure" in p for p in validate_bench_payload(payload))
+
+    def test_unknown_sha_flagged(self):
+        from repro.eval.report import validate_bench_payload
+
+        payload = self._valid()
+        payload["git_sha"] = "unknown"
+        assert any("SHA" in p for p in validate_bench_payload(payload))
+
+    def test_nan_flagged_with_path(self):
+        from repro.eval.report import validate_bench_payload
+
+        payload = self._valid(records=[record(seeds=[1], mean=float("nan"))])
+        problems = validate_bench_payload(payload)
+        assert any("non-finite" in p and "improvement_mean" in p for p in problems)
+
+    def test_inf_in_series_flagged(self):
+        from repro.eval.report import validate_bench_payload
+
+        payload = self._valid(series={"conv": [(1, float("inf"))]})
+        assert any("non-finite" in p for p in validate_bench_payload(payload))
+
+    def test_seedless_record_flagged(self):
+        from repro.eval.report import validate_bench_payload
+
+        problems = validate_bench_payload(self._valid(records=[record()]))
+        assert any("no seeds" in p for p in problems)
+
+    def test_empty_series_list_flagged(self):
+        from repro.eval.report import validate_bench_payload
+
+        payload = self._valid(records=None, series={"conv": []})
+        assert any("is empty" in p for p in validate_bench_payload(payload))

@@ -156,3 +156,84 @@ class TestBudgetPolicyFlags:
         assert code == 0
         out = capsys.readouterr().out
         assert '"kind": "whatif_call"' in out
+
+
+class TestTuneMultiSeed:
+    def test_seeds_reports_mean_and_per_seed(self, capsys):
+        code = main(
+            ["tune", "--workload", "tpch", "--budget", "40", "--algo", "mcts",
+             "--max-indexes", "4", "--seeds", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "over 3 seeds" in out
+        assert out.count("seed ") == 3
+
+    def test_jobs_matches_serial(self, capsys):
+        args = ["tune", "--workload", "tpch", "--budget", "40", "--algo",
+                "mcts", "--max-indexes", "4", "--seeds", "2"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--jobs", "2"]) == 0
+        pooled = capsys.readouterr().out
+        # Same improvement lines; only the jobs note differs.
+        assert [line for line in serial.splitlines() if "seed " in line] == [
+            line for line in pooled.splitlines() if "seed " in line
+        ]
+
+    def test_seeds_rejects_minutes(self):
+        code = main(
+            ["tune", "--workload", "tpch", "--minutes", "5", "--seeds", "2"]
+        )
+        assert code == 2
+
+    def test_seeds_rejects_trace(self):
+        code = main(
+            ["tune", "--workload", "tpch", "--budget", "20", "--seeds", "2",
+             "--trace", "-"]
+        )
+        assert code == 2
+
+    def test_nonpositive_jobs_rejected(self):
+        code = main(
+            ["tune", "--workload", "tpch", "--budget", "20", "--jobs", "0"]
+        )
+        assert code == 2
+
+
+class TestEvalCommand:
+    def test_fig17_smoke(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        code = main(["eval", "--figure", "fig17", "--seeds", "1", "--ks", "3"])
+        assert code == 0
+        assert "Figure 17" in capsys.readouterr().out
+
+    def test_json_archive_written(self, capsys, monkeypatch, tmp_path):
+        import json
+
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        path = tmp_path / "BENCH_fig17.json"
+        code = main(
+            ["eval", "--figure", "fig17", "--seeds", "1", "--ks", "3",
+             "--jobs", "2", "--json", str(path)]
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["figure"] == "fig17"
+        assert payload["settings"]["jobs"] == 2
+        assert payload["records"]
+        assert payload["records"][0]["seed_metrics"]
+
+        from repro.eval.report import validate_bench_payload
+
+        assert validate_bench_payload(payload) == []
+
+    def test_unknown_figure_rejected(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["eval", "--figure", "fig99"])
+
+    def test_nonpositive_jobs_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        assert main(["eval", "--figure", "table1", "--jobs", "0"]) == 2
