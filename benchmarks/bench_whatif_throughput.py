@@ -19,8 +19,8 @@ from conftest import run_once
 
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.candidates import CandidateGenerator
-from repro.workloads.job import job_workload
-from repro.workloads.tpch import tpch_workload
+from repro.workload.suites.job import job_workload
+from repro.workload.suites.tpch import tpch_workload
 
 #: Seed-path throughput (calls/sec) from reports/whatif_throughput_seed.txt,
 #: measured at commit efaf3d6 on this container class.

@@ -21,6 +21,16 @@ Quickstart::
         print(" ", index.display())
 """
 
+from repro.backend import (
+    BACKEND_NAMES,
+    AnalyticBackend,
+    BackendSpec,
+    CostBackend,
+    NoisyBackend,
+    RecordingBackend,
+    ReplayBackend,
+    build_backend,
+)
 from repro.catalog import (
     Column,
     ColumnStats,
@@ -40,6 +50,8 @@ from repro.exceptions import (
     OptimizerError,
     ReproError,
     SQLSyntaxError,
+    TraceError,
+    TraceMissError,
     TuningError,
     UnknownColumnError,
     UnknownTableError,
@@ -49,8 +61,10 @@ from repro.optimizer import (
     CostDerivation,
     CostModel,
     CostModelParams,
-    WhatIfOptimizer,
 )
+
+# Back-compat re-export: new code should go through repro.backend.
+from repro.optimizer import WhatIfOptimizer  # repro-lint: off[REP007]
 from repro.sqlparser import parse_select
 from repro.tuners import (
     AutoAdminGreedyTuner,
@@ -74,13 +88,16 @@ from repro.workload import (
     WorkloadSynthesizer,
     bind_query,
 )
-from repro.workloads import available_workloads, get_workload
+from repro.workload.suites import available_workloads, get_workload
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ABLATION_PRESETS",
+    "AnalyticBackend",
     "AutoAdminGreedyTuner",
+    "BACKEND_NAMES",
+    "BackendSpec",
     "BudgetAllocationMatrix",
     "BudgetExhaustedError",
     "CandidateGenerator",
@@ -89,6 +106,7 @@ __all__ = [
     "ColumnStats",
     "ColumnType",
     "ConstraintError",
+    "CostBackend",
     "CostDerivation",
     "CostModel",
     "CostModelParams",
@@ -100,9 +118,12 @@ __all__ = [
     "MCTSConfig",
     "MCTSTuner",
     "NoDBATuner",
+    "NoisyBackend",
     "OptimizerError",
     "Query",
     "RandomSearchTuner",
+    "RecordingBackend",
+    "ReplayBackend",
     "ReproError",
     "SQLSyntaxError",
     "Schema",
@@ -110,6 +131,8 @@ __all__ = [
     "SynthesisProfile",
     "Table",
     "TimeBudgetedTuner",
+    "TraceError",
+    "TraceMissError",
     "Tuner",
     "TuningConstraints",
     "TuningError",
@@ -124,6 +147,7 @@ __all__ = [
     "WorkloadSynthesizer",
     "available_workloads",
     "bind_query",
+    "build_backend",
     "get_workload",
     "parse_select",
     "__version__",

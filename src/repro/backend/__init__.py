@@ -1,0 +1,50 @@
+"""Pluggable cost backends: the engine layer behind every what-if call.
+
+The :class:`CostBackend` protocol defines the contract; the registry in
+:mod:`repro.backend.factory` maps names to engines:
+
+========== ==================================================================
+name       engine
+========== ==================================================================
+analytic   the simulated what-if optimizer (default, bit-identical baseline)
+noisy      analytic × seeded multiplicative noise (robustness studies)
+record     analytic + JSONL trace capture of every fresh cost
+replay     costs served from a trace — zero cost-model invocations
+========== ==================================================================
+
+Resolve backends through :func:`build_backend` (or carry a picklable
+:class:`BackendSpec` across process boundaries); constructing
+:class:`~repro.optimizer.whatif.WhatIfOptimizer` directly outside this
+package and :mod:`repro.optimizer` is flagged by lint rule REP007.
+"""
+
+from repro.backend.analytic import AnalyticBackend
+from repro.backend.base import CostBackend
+from repro.backend.factory import (
+    BACKEND_NAMES,
+    BACKENDS,
+    BackendSpec,
+    build_backend,
+    resolve_spec,
+)
+from repro.backend.noisy import NoisyBackend
+from repro.backend.record import RecordingBackend
+from repro.backend.replay import ReplayBackend
+from repro.backend.trace import TraceHeader, canonical_key, read_trace, write_trace
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_NAMES",
+    "AnalyticBackend",
+    "BackendSpec",
+    "CostBackend",
+    "NoisyBackend",
+    "RecordingBackend",
+    "ReplayBackend",
+    "TraceHeader",
+    "build_backend",
+    "canonical_key",
+    "read_trace",
+    "resolve_spec",
+    "write_trace",
+]

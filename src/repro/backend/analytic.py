@@ -1,0 +1,25 @@
+"""The default cost backend: the simulated analytic what-if optimizer."""
+
+from __future__ import annotations
+
+from repro.optimizer.whatif import WhatIfOptimizer
+
+
+class AnalyticBackend(WhatIfOptimizer):
+    """The analytic cost model behind the :class:`~repro.backend.CostBackend` seam.
+
+    A pure re-export of :class:`~repro.optimizer.whatif.WhatIfOptimizer`
+    under its backend name: same constructor, same caching, metering, and
+    batching, bit-identical costs and call-log layouts (pinned by the
+    golden-oracle tests). Exists so that *every* consumer resolves its cost
+    engine through :func:`~repro.backend.factory.build_backend` and the
+    other backends can subclass one canonical class.
+    """
+
+    #: Registry name (``--backend analytic``).
+    name = "analytic"
+
+    #: Costs satisfy Assumption 1 (adding an index never increases cost),
+    #: so the monotonicity sanitizer may be installed on sessions using
+    #: this backend.
+    monotonic = True

@@ -1,0 +1,79 @@
+"""Recording backend: the analytic engine plus a JSONL cost trace."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.backend.analytic import AnalyticBackend
+from repro.backend.trace import TraceHeader, TraceKey, canonical_key, write_trace
+from repro.catalog import Index
+from repro.exceptions import TuningError
+from repro.optimizer.prepared import PreparedQuery
+
+
+class RecordingBackend(AnalyticBackend):
+    """Analytic costing that captures every fresh evaluation to a trace.
+
+    Prices exactly like :class:`~repro.backend.analytic.AnalyticBackend`
+    (recording is observation-only: costs, budget accounting, and tuner
+    outcomes are unchanged) while remembering each fresh ``(qid, key)``
+    cost. Call :meth:`save_trace` once the session — *including* any
+    ground-truth evaluation of the final configuration — is finished;
+    :meth:`close` flushes as a backstop. The trace then lets
+    :class:`~repro.backend.replay.ReplayBackend` serve the same session
+    with zero cost-model invocations.
+
+    Evaluations are deduplicated by key: uncached ground-truth calls
+    (:meth:`true_cost` does not populate the what-if cache) may re-price a
+    pair, but the trace stores one line per distinct pair. Duplicate
+    pricings are deterministic, so last-write-wins is value-identical.
+
+    Args:
+        workload: The workload being tuned.
+        trace_path: Where :meth:`save_trace` writes the JSONL trace.
+        **kwargs: Forwarded to the analytic engine.
+    """
+
+    name = "record"
+    monotonic = True
+
+    def __init__(self, workload, *args, trace_path: str | Path, **kwargs):
+        if not trace_path:
+            raise TuningError("RecordingBackend requires a trace_path")
+        super().__init__(workload, *args, **kwargs)
+        self._trace_path = Path(trace_path)
+        self._recorded: dict[tuple[str, TraceKey], float] = {}
+        self._saved = False
+
+    @property
+    def trace_path(self) -> Path:
+        """Destination of the recorded trace."""
+        return self._trace_path
+
+    @property
+    def recorded_pairs(self) -> int:
+        """Distinct (query, configuration) costs captured so far."""
+        return len(self._recorded)
+
+    def _evaluate(self, prepared: PreparedQuery, key: frozenset[Index]) -> float:
+        cost = super()._evaluate(prepared, key)
+        self._recorded[(prepared.qid, canonical_key(key))] = cost
+        self._saved = False
+        return cost
+
+    def save_trace(self) -> int:
+        """Write the trace file; returns the number of cost lines."""
+        header = TraceHeader(
+            workload=self._workload.name,
+            queries=len(self._workload),
+            normalize_cache=self.normalize_cache,
+        )
+        written = write_trace(self._trace_path, header, self._recorded)
+        self._saved = True
+        return written
+
+    def close(self) -> None:
+        """Flush the trace (unless already saved), then shut down."""
+        if not self._saved:
+            self.save_trace()
+        super().close()

@@ -1,0 +1,85 @@
+"""Replay backend: serve recorded costs with zero cost-model invocations."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.backend.analytic import AnalyticBackend
+from repro.backend.trace import TraceKey, canonical_key, read_trace
+from repro.catalog import Index
+from repro.exceptions import TraceError, TraceMissError, TuningError
+from repro.optimizer.prepared import PreparedQuery
+
+
+class ReplayBackend(AnalyticBackend):
+    """Costs served from a recorded JSONL trace — never from the cost model.
+
+    Caching, normalization, budget metering, and the call-log layout are the
+    analytic engine's; only the raw evaluation seam is replaced by a trace
+    lookup. Replaying the same tuner/seed/budget that produced the trace is
+    therefore bit-identical to the recorded run while issuing *zero*
+    cost-model invocations (the CI smoke job asserts this by making
+    ``CostModel.cost`` raise). A lookup miss raises
+    :class:`~repro.exceptions.TraceMissError` — replay never silently falls
+    back to analytic costing.
+
+    The trace header is authoritative for cache normalization (keys were
+    recorded post-normalization) and is validated against the session's
+    workload by name and query count.
+
+    Args:
+        workload: The workload being tuned; must match the trace header.
+        trace_path: The JSONL trace to serve costs from.
+        **kwargs: Forwarded to the analytic engine. ``normalize_cache`` may
+            only be passed if it agrees with the trace header.
+    """
+
+    name = "replay"
+    monotonic = True
+
+    def __init__(self, workload, *args, trace_path: str | Path, **kwargs):
+        if not trace_path:
+            raise TuningError("ReplayBackend requires a trace_path")
+        header, costs = read_trace(trace_path)
+        if header.workload != workload.name or header.queries != len(workload):
+            raise TraceError(
+                f"trace {trace_path} was recorded against workload "
+                f"{header.workload!r} ({header.queries} queries); replay "
+                f"session uses {workload.name!r} ({len(workload)} queries)"
+            )
+        requested = kwargs.pop("normalize_cache", None)
+        if requested is not None and requested != header.normalize_cache:
+            raise TraceError(
+                f"trace {trace_path} was recorded with "
+                f"normalize_cache={header.normalize_cache}; cannot replay "
+                f"with normalize_cache={requested}"
+            )
+        super().__init__(
+            workload, *args, normalize_cache=header.normalize_cache, **kwargs
+        )
+        self._trace_path = Path(trace_path)
+        self._trace_costs: dict[tuple[str, TraceKey], float] = costs
+
+    @property
+    def trace_path(self) -> Path:
+        """Source of the replayed trace."""
+        return self._trace_path
+
+    @property
+    def trace_pairs(self) -> int:
+        """Distinct (query, configuration) costs available in the trace."""
+        return len(self._trace_costs)
+
+    def _evaluate(self, prepared: PreparedQuery, key: frozenset[Index]) -> float:
+        trace_key = canonical_key(key)
+        cost = self._trace_costs.get((prepared.qid, trace_key))
+        if cost is None:
+            raise TraceMissError(
+                f"trace {self._trace_path} has no cost for query "
+                f"{prepared.qid!r} under configuration {list(trace_key)} — "
+                "the replayed run diverged from the recorded one",
+                qid=prepared.qid,
+                key=trace_key,
+            )
+        self._stats.replayed += 1
+        return cost

@@ -1,0 +1,143 @@
+"""JSONL trace format shared by the record and replay backends.
+
+A trace is a line-delimited JSON file. The first line is a header::
+
+    {"type": "header", "version": 1, "workload": "tpch",
+     "queries": 22, "normalize_cache": true}
+
+and every following line is one recorded cost::
+
+    {"type": "cost", "qid": "q03", "key": ["lineitem(l_orderkey)"],
+     "cost": 123456.789}
+
+``key`` is the *canonical configuration key*: the sorted
+:meth:`~repro.catalog.Index.display` strings of the (normalized)
+configuration the cost was priced under; the empty configuration is
+``[]``. Python's JSON float round-trip is exact, so replaying a trace
+reproduces every cost bit-for-bit.
+
+The header pins the two facts replay must agree on: the workload (by name
+and query count) and the cache-normalization setting, because keys are
+recorded *post*-normalization and a session normalizing differently would
+look up keys that were never written.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.catalog import Index
+from repro.exceptions import TraceError
+
+#: Trace format version written by this module.
+TRACE_VERSION = 1
+
+#: A canonical configuration key: sorted index display strings.
+TraceKey = tuple[str, ...]
+
+
+def canonical_key(key: frozenset[Index] | frozenset) -> TraceKey:
+    """Serialise a configuration into its canonical trace key."""
+    return tuple(sorted(ix.display() for ix in key))
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """The identity line of a trace file.
+
+    Attributes:
+        workload: Name of the workload the trace was recorded against.
+        queries: Number of queries in that workload (cheap drift check).
+        normalize_cache: Cache-normalization setting of the recording
+            session; replay adopts it.
+        version: Trace format version.
+    """
+
+    workload: str
+    queries: int
+    normalize_cache: bool
+    version: int = TRACE_VERSION
+
+    def as_json(self) -> str:
+        return json.dumps(
+            {
+                "type": "header",
+                "version": self.version,
+                "workload": self.workload,
+                "queries": self.queries,
+                "normalize_cache": self.normalize_cache,
+            }
+        )
+
+
+def write_trace(
+    path: str | Path, header: TraceHeader, costs: dict[tuple[str, TraceKey], float]
+) -> int:
+    """Write a trace file; returns the number of cost lines written.
+
+    Cost lines are sorted by (qid, key) so traces are byte-stable
+    regardless of the order the recording session priced pairs in.
+    """
+    lines = [header.as_json()]
+    for (qid, key), cost in sorted(costs.items()):
+        lines.append(
+            json.dumps({"type": "cost", "qid": qid, "key": list(key), "cost": cost})
+        )
+    Path(path).write_text("\n".join(lines) + "\n")
+    return len(costs)
+
+
+def read_trace(path: str | Path) -> tuple[TraceHeader, dict[tuple[str, TraceKey], float]]:
+    """Parse a trace file into its header and cost map.
+
+    Raises:
+        TraceError: On a missing file, malformed JSONL, an unsupported
+            version, or a missing/duplicate header.
+    """
+    trace_path = Path(path)
+    try:
+        text = trace_path.read_text()
+    except OSError as exc:
+        raise TraceError(f"cannot read trace {trace_path}: {exc}") from exc
+    header: TraceHeader | None = None
+    costs: dict[tuple[str, TraceKey], float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(
+                f"{trace_path}:{lineno}: malformed trace line: {exc}"
+            ) from exc
+        kind = record.get("type")
+        if kind == "header":
+            if header is not None:
+                raise TraceError(f"{trace_path}:{lineno}: duplicate trace header")
+            version = record.get("version")
+            if version != TRACE_VERSION:
+                raise TraceError(
+                    f"{trace_path}: unsupported trace version {version!r} "
+                    f"(expected {TRACE_VERSION})"
+                )
+            header = TraceHeader(
+                workload=record["workload"],
+                queries=int(record["queries"]),
+                normalize_cache=bool(record["normalize_cache"]),
+            )
+        elif kind == "cost":
+            try:
+                costs[(record["qid"], tuple(record["key"]))] = float(record["cost"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise TraceError(
+                    f"{trace_path}:{lineno}: malformed cost line: {exc}"
+                ) from exc
+        else:
+            raise TraceError(
+                f"{trace_path}:{lineno}: unknown trace record type {kind!r}"
+            )
+    if header is None:
+        raise TraceError(f"{trace_path}: trace has no header line")
+    return header, costs

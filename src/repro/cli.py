@@ -12,7 +12,12 @@ Examples:
     python -m repro tune --workload tpch --budget 300 --max-indexes 10
     python -m repro tune --workload tpch --budget 300 --seeds 5 --jobs 4
     python -m repro tune --workload tpcds --algo two_phase --minutes 30
+    python -m repro tune --workload tpch --budget 300 --backend record \\
+        --backend-trace trace.jsonl
+    python -m repro tune --workload tpch --budget 300 --backend replay \\
+        --backend-trace trace.jsonl
     python -m repro eval --figure fig17 --jobs 4 --json reports/BENCH_fig17.json
+    python -m repro eval --figure robustness --json -
     python -m repro explain --workload tpch --query q3 --budget 100
     python -m repro compress --workload tpcds --target 20
 """
@@ -24,14 +29,14 @@ import json
 import sys
 from dataclasses import replace
 
+from repro.backend.factory import BACKEND_NAMES, BackendSpec, build_backend
 from repro.budget.policy import POLICY_NAMES
 from repro.config import MCTSConfig, ReproConfig, TuningConstraints
 from repro.eval.experiments import EXPERIMENTS, ExperimentSettings, run_experiment
 from repro.eval.report import bench_payload
 from repro.eval.runner import ExperimentRunner
 from repro.eval.timemodel import WhatIfTimeModel
-from repro.exceptions import ReproError
-from repro.optimizer.whatif import WhatIfOptimizer
+from repro.exceptions import ReproError, TuningError
 from repro.rng import spawn_seeds
 from repro.tuners import (
     AutoAdminGreedyTuner,
@@ -46,7 +51,7 @@ from repro.tuners import (
 )
 from repro.workload.analysis import bind_query
 from repro.workload.compression import WorkloadCompressor
-from repro.workloads import available_workloads, get_workload
+from repro.workload.suites import available_workloads, get_workload
 
 _ALGORITHMS = {
     "mcts": lambda args: MCTSTuner(
@@ -98,6 +103,19 @@ def _build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--budget-policy", default="fcfs", choices=POLICY_NAMES,
                       help="budget discipline (default fcfs; wii/esc change "
                            "which calls are granted)")
+    tune.add_argument("--backend", default=None, choices=BACKEND_NAMES,
+                      help="cost backend (default: REPRO_BACKEND or analytic). "
+                           "record captures a what-if trace, replay serves one "
+                           "with zero cost-model calls, noisy perturbs costs")
+    tune.add_argument("--backend-trace", default=None, metavar="PATH",
+                      help="trace file the record backend writes / the replay "
+                           "backend reads (default: REPRO_BACKEND_TRACE)")
+    tune.add_argument("--noise", type=float, default=None,
+                      help="noise scale sigma for --backend noisy "
+                           "(default: REPRO_NOISE or 0.1)")
+    tune.add_argument("--noise-seed", type=int, default=None,
+                      help="perturbation seed for --backend noisy "
+                           "(default: REPRO_NOISE_SEED or 0)")
     tune.add_argument("--trace", default=None, metavar="PATH",
                       help="write the session event stream as JSON lines to "
                            "PATH ('-' for stdout)")
@@ -113,7 +131,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     ev = sub.add_parser("eval", help="run a registered paper experiment")
     ev.add_argument("--figure", required=True, choices=sorted(EXPERIMENTS),
-                    help="experiment id (fig02..fig23, table1)")
+                    help="experiment id (fig02..fig23, table1, robustness)")
     ev.add_argument("--scale", type=float, default=None,
                     help="budget multiplier (default: REPRO_SCALE or 0.1)")
     ev.add_argument("--seeds", type=int, default=None,
@@ -123,6 +141,16 @@ def _build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--jobs", type=int, default=None,
                     help="worker processes for the grid (default: REPRO_JOBS "
                          "or 1); bit-identical to a serial run")
+    ev.add_argument("--backend", default=None, choices=("analytic", "noisy"),
+                    help="cost backend for the grid cells (default: "
+                         "REPRO_BACKEND or analytic; record/replay are "
+                         "single-session and not valid in grids)")
+    ev.add_argument("--noise", type=float, default=None,
+                    help="noise scale sigma for --backend noisy "
+                         "(default: REPRO_NOISE or 0.1)")
+    ev.add_argument("--noise-seed", type=int, default=None,
+                    help="perturbation seed for --backend noisy "
+                         "(default: REPRO_NOISE_SEED or 0)")
     ev.add_argument("--json", default=None, metavar="PATH",
                     help="write the machine-readable BENCH payload to PATH "
                          "('-' for stdout)")
@@ -170,6 +198,31 @@ def _write_trace(result, destination: str) -> None:
     print(f"trace: {len(lines)} events -> {destination}")
 
 
+def _backend_spec(args: argparse.Namespace) -> BackendSpec | None:
+    """The tune command's backend selection (``None`` = env/config default).
+
+    Returns ``None`` when no backend flag was given, so the downstream
+    resolution (:func:`repro.backend.factory.resolve_spec`) falls back to
+    ``REPRO_BACKEND`` and friends exactly as library callers do.
+    """
+    flags = (args.backend, args.backend_trace, args.noise, args.noise_seed)
+    if all(flag is None for flag in flags):
+        return None
+    config = ReproConfig.from_env()
+    name = args.backend or config.backend
+    trace = args.backend_trace or config.backend_trace
+    if name in ("record", "replay") and not trace:
+        raise TuningError(f"--backend {name} requires --backend-trace PATH")
+    return BackendSpec(
+        name=name,
+        trace_path=trace,
+        noise=config.noise if args.noise is None else args.noise,
+        noise_seed=(
+            config.noise_seed if args.noise_seed is None else args.noise_seed
+        ),
+    )
+
+
 def _cmd_tune_multi_seed(args: argparse.Namespace, workload, constraints) -> int:
     """``tune --seeds N [--jobs M]``: seed-averaged runs, mean ± std."""
     if args.minutes is not None:
@@ -180,6 +233,11 @@ def _cmd_tune_multi_seed(args: argparse.Namespace, workload, constraints) -> int
         print("error: --trace/--sanitize apply to single runs; drop --seeds "
               "or set REPRO_SANITIZE=1 for sanitized multi-seed runs",
               file=sys.stderr)
+        return 2
+    backend = _backend_spec(args)
+    if backend is not None and backend.name == "record":
+        print("error: --backend record captures a single session's trace; "
+              "drop --seeds", file=sys.stderr)
         return 2
 
     def factory(seed: int):
@@ -199,6 +257,7 @@ def _cmd_tune_multi_seed(args: argparse.Namespace, workload, constraints) -> int
         constraints,
         stochastic=True,
         budget_policy=args.budget_policy,
+        backend=backend,
     )
     print(
         f"{record.tuner}: {record.improvement_mean:.1f}% ± "
@@ -233,6 +292,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     if args.seeds > 1:
         return _cmd_tune_multi_seed(args, workload, constraints)
     tuner = _ALGORITHMS[args.algo](args)
+    backend = _backend_spec(args)
     optimizer_config = (
         replace(ReproConfig.from_env(), sanitize=True) if args.sanitize else None
     )
@@ -243,6 +303,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             args.minutes,
             constraints=constraints,
             optimizer_config=optimizer_config,
+            backend=backend,
         )
         model = WhatIfTimeModel(workload)
         print(
@@ -257,6 +318,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             constraints=constraints,
             optimizer_config=optimizer_config,
             budget_policy=args.budget_policy,
+            backend=backend,
         )
 
     if args.trace is not None:
@@ -275,12 +337,21 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             f"{stats.normalized_hits} saved by normalization, "
             f"{stats.cost_seconds:.3f}s in the cost model"
         )
-    if not result.configuration:
+        if stats.replayed:
+            print(f"replayed {stats.replayed} pricings from the trace "
+                  "(zero cost-model invocations)")
+    if result.configuration:
+        print(f"recommended configuration ({len(result.configuration)} indexes):")
+        for index in sorted(result.configuration, key=lambda ix: ix.display()):
+            print(f"  {index.display()}")
+    else:
         print("no indexes recommended")
-        return 0
-    print(f"recommended configuration ({len(result.configuration)} indexes):")
-    for index in sorted(result.configuration, key=lambda ix: ix.display()):
-        print(f"  {index.display()}")
+    optimizer = result.optimizer
+    if optimizer is not None and hasattr(optimizer, "save_trace"):
+        # Save after true_improvement() above so the trace also covers the
+        # ground-truth pricings a replay of this session will need.
+        written = optimizer.save_trace()
+        print(f"what-if trace: {written} cost lines -> {optimizer.trace_path}")
     return 0
 
 
@@ -301,6 +372,12 @@ def _cmd_eval(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         overrides["jobs"] = args.jobs
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.noise is not None:
+        overrides["noise"] = args.noise
+    if args.noise_seed is not None:
+        overrides["noise_seed"] = args.noise_seed
     if overrides:
         settings = replace(settings, **overrides)
     artifact = run_experiment(args.figure, settings)
@@ -330,7 +407,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         budget=args.budget,
         constraints=TuningConstraints(max_indexes=args.max_indexes),
     )
-    optimizer = WhatIfOptimizer(workload)
+    optimizer = build_backend("analytic", workload)
     print("--- query ---")
     print(query.sql)
     print("\n--- plan without hypothetical indexes ---")

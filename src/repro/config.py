@@ -26,6 +26,12 @@ from repro.exceptions import ConstraintError
 #: imports this module).
 _BUDGET_POLICY_NAMES = ("fcfs", "wii", "esc", "esc+wii")
 
+#: Cost-backend names accepted by :attr:`ReproConfig.backend`. Mirrors
+#: :data:`repro.backend.factory.BACKEND_NAMES` (kept literal here so the
+#: config layer never imports the backend package — the backend package
+#: imports this module).
+_BACKEND_NAMES = ("analytic", "noisy", "record", "replay")
+
 
 @dataclass(frozen=True)
 class ReproConfig:
@@ -68,6 +74,20 @@ class ReproConfig:
             and outcomes are unchanged; a detected invariant violation
             raises :class:`~repro.exceptions.InvariantViolationError`
             instead of silently continuing.
+        backend: Default cost backend for tuning sessions — ``"analytic"``
+            (the simulated optimizer, bit-identical baseline), ``"noisy"``
+            (seeded multiplicative perturbation for robustness studies),
+            ``"record"`` (analytic plus a JSONL trace of every fresh cost),
+            or ``"replay"`` (serve costs from a trace; zero cost-model
+            invocations). **Semantic knob** for ``"noisy"``: perturbed
+            costs change tuner decisions by design.
+        backend_trace: Trace path for the record/replay backends (required
+            by both, unused by the others).
+        noise: Relative noise level σ of the noisy backend; each non-empty
+            (query, configuration) cost is multiplied by ``exp(σ·z)`` with
+            ``z`` a seeded standard normal. ``0`` reproduces the analytic
+            backend bit-for-bit.
+        noise_seed: Seed of the noisy backend's perturbation stream.
     """
 
     normalize_cache: bool = True
@@ -77,6 +97,10 @@ class ReproConfig:
     esc_patience: int = 3
     esc_min_delta: float = 0.1
     sanitize: bool = False
+    backend: str = "analytic"
+    backend_trace: str | None = None
+    noise: float = 0.1
+    noise_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.whatif_pool_size < 1:
@@ -100,6 +124,13 @@ class ReproConfig:
             raise ConstraintError(
                 f"esc_min_delta must be non-negative, got {self.esc_min_delta}"
             )
+        if self.backend not in _BACKEND_NAMES:
+            raise ConstraintError(
+                f"unknown backend {self.backend!r}; "
+                f"expected one of {_BACKEND_NAMES}"
+            )
+        if self.noise < 0:
+            raise ConstraintError(f"noise must be non-negative, got {self.noise}")
 
     @classmethod
     def from_env(cls) -> "ReproConfig":
@@ -108,7 +139,8 @@ class ReproConfig:
         Recognised: ``REPRO_NORMALIZE_CACHE``, ``REPRO_WHATIF_POOL``,
         ``REPRO_BUDGET_POLICY``, ``REPRO_WII_RELEASE_RATE``,
         ``REPRO_ESC_PATIENCE``, ``REPRO_ESC_MIN_DELTA``,
-        ``REPRO_SANITIZE``.
+        ``REPRO_SANITIZE``, ``REPRO_BACKEND``, ``REPRO_BACKEND_TRACE``,
+        ``REPRO_NOISE``, ``REPRO_NOISE_SEED``.
         """
         normalize = os.environ.get("REPRO_NORMALIZE_CACHE", "1") not in (
             "0",
@@ -159,6 +191,10 @@ class ReproConfig:
             esc_patience=_int_env("REPRO_ESC_PATIENCE", 3),
             esc_min_delta=_float_env("REPRO_ESC_MIN_DELTA", 0.1),
             sanitize=sanitize,
+            backend=os.environ.get("REPRO_BACKEND", "analytic"),
+            backend_trace=os.environ.get("REPRO_BACKEND_TRACE") or None,
+            noise=_float_env("REPRO_NOISE", 0.1),
+            noise_seed=_int_env("REPRO_NOISE_SEED", 0),
         )
 
 

@@ -18,14 +18,14 @@ from __future__ import annotations
 
 from repro.catalog import Index
 from repro.config import TuningConstraints
-from repro.optimizer.whatif import WhatIfOptimizer
+from repro.backend.base import CostBackend
 from repro.tuners.greedy import greedy_enumerate
 
 
 class BestExploredTracker:
     """Incrementally tracks the best configuration explored (for BCE)."""
 
-    def __init__(self, optimizer: WhatIfOptimizer, constraints: TuningConstraints):
+    def __init__(self, optimizer: CostBackend, constraints: TuningConstraints):
         self._optimizer = optimizer
         self._constraints = constraints
         self._best: frozenset[Index] = frozenset()
@@ -64,7 +64,7 @@ def extract_bce(tracker: BestExploredTracker) -> frozenset[Index]:
 
 
 def extract_bg(
-    optimizer: WhatIfOptimizer,
+    optimizer: CostBackend,
     candidates: list[Index],
     constraints: TuningConstraints,
 ) -> frozenset[Index]:
@@ -74,7 +74,7 @@ def extract_bg(
 
 def extract_best(
     strategy: str,
-    optimizer: WhatIfOptimizer,
+    optimizer: CostBackend,
     candidates: list[Index],
     constraints: TuningConstraints,
     tracker: BestExploredTracker,

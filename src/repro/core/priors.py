@@ -19,12 +19,12 @@ from __future__ import annotations
 import random
 
 from repro.catalog import Index
-from repro.optimizer.whatif import WhatIfOptimizer
+from repro.backend.base import CostBackend
 from repro.workload.candidates import candidates_for_query
 from repro.workload.query import Query
 
 
-def relevant_indexes(optimizer: WhatIfOptimizer, query: Query, candidates) -> list[Index]:
+def relevant_indexes(optimizer: CostBackend, query: Query, candidates) -> list[Index]:
     """The query's own candidate indexes within the global pool.
 
     Different queries contribute different candidate indexes, so the
@@ -39,7 +39,7 @@ def relevant_indexes(optimizer: WhatIfOptimizer, query: Query, candidates) -> li
 class _QuerySelector:
     """QuerySelection policies for Algorithm 4."""
 
-    def __init__(self, mode: str, optimizer: WhatIfOptimizer, rng: random.Random):
+    def __init__(self, mode: str, optimizer: CostBackend, rng: random.Random):
         self._mode = mode
         self._optimizer = optimizer
         self._rng = rng
@@ -66,7 +66,7 @@ class _QuerySelector:
 
 def _select_index(
     mode: str,
-    optimizer: WhatIfOptimizer,
+    optimizer: CostBackend,
     pending: list[Index],
     rng: random.Random,
 ) -> Index:
@@ -85,7 +85,7 @@ def _select_index(
 
 
 def compute_singleton_priors(
-    optimizer: WhatIfOptimizer,
+    optimizer: CostBackend,
     candidates: list[Index],
     budget: int,
     rng: random.Random,
@@ -152,7 +152,7 @@ def compute_singleton_priors(
     return priors
 
 
-def prior_pair_count(optimizer: WhatIfOptimizer, candidates: list[Index]) -> int:
+def prior_pair_count(optimizer: CostBackend, candidates: list[Index]) -> int:
     """``P``: the number of relevant (query, index) pairs (for B' = min(B/2, P))."""
     return sum(
         len(relevant_indexes(optimizer, query, candidates))

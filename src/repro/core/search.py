@@ -29,7 +29,7 @@ from repro.core.selection import (
     UCTPolicy,
 )
 from repro.exceptions import TuningError
-from repro.optimizer.whatif import WhatIfOptimizer
+from repro.backend.base import CostBackend
 from repro.tuners.base import TuningSession
 
 
@@ -49,7 +49,7 @@ class MCTSSearch:
 
     def __init__(
         self,
-        optimizer: WhatIfOptimizer | None = None,
+        optimizer: CostBackend | None = None,
         candidates: list[Index] | None = None,
         constraints: TuningConstraints | None = None,
         config: MCTSConfig | None = None,

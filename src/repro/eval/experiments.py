@@ -26,9 +26,10 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.backend.factory import BackendSpec
 from repro.config import ABLATION_PRESETS, MCTSConfig, TuningConstraints
 from repro.eval.metrics import round_series
-from repro.eval.report import format_grid, format_records, format_series
+from repro.eval.report import format_grid, format_series
 from repro.eval.runner import ExperimentRunner, RunRecord, TunerFactory
 from repro.eval.timemodel import WhatIfTimeModel
 from repro.exceptions import TuningError
@@ -43,7 +44,7 @@ from repro.tuners import (
     VanillaGreedyTuner,
 )
 from repro.workload.analysis import bind_query
-from repro.workloads import get_workload
+from repro.workload.suites import get_workload
 
 #: Paper budget grids.
 LARGE_BUDGETS = [1000, 2000, 3000, 4000, 5000]
@@ -63,12 +64,22 @@ class ExperimentSettings:
         k_values: Cardinality grid (``REPRO_KS``).
         jobs: Worker processes for grid execution (``REPRO_JOBS``); 1 runs
             serially, N > 1 is bit-identical but concurrent.
+        backend: Cost-backend name the grids run against
+            (``REPRO_BACKEND``); ``"analytic"`` is the exact engine. The
+            ``record`` backend is single-session and rejected by the
+            runner.
+        noise: Noise scale σ for the noisy backend (``REPRO_NOISE``).
+        noise_seed: Perturbation seed for the noisy backend
+            (``REPRO_NOISE_SEED``).
     """
 
     scale: float = 0.1
     seeds: int = 3
     k_values: tuple[int, ...] = (5, 10, 20)
     jobs: int = 1
+    backend: str = "analytic"
+    noise: float = 0.1
+    noise_seed: int = 0
 
     @classmethod
     def from_env(cls) -> "ExperimentSettings":
@@ -77,7 +88,27 @@ class ExperimentSettings:
         ks_raw = os.environ.get("REPRO_KS", "5,10,20")
         ks = tuple(int(k) for k in ks_raw.split(",") if k.strip())
         jobs = max(1, int(os.environ.get("REPRO_JOBS", "1")))
-        return cls(scale=scale, seeds=seeds, k_values=ks, jobs=jobs)
+        return cls(
+            scale=scale,
+            seeds=seeds,
+            k_values=ks,
+            jobs=jobs,
+            backend=os.environ.get("REPRO_BACKEND", "analytic"),
+            noise=float(os.environ.get("REPRO_NOISE", "0.1")),
+            noise_seed=int(os.environ.get("REPRO_NOISE_SEED", "0")),
+        )
+
+    def backend_spec(self) -> BackendSpec | None:
+        """The backend selection for grid cells (``None`` = analytic).
+
+        ``None`` (rather than an analytic spec) keeps the default path
+        byte-identical with pre-backend archives.
+        """
+        if self.backend == "analytic":
+            return None
+        return BackendSpec(
+            name=self.backend, noise=self.noise, noise_seed=self.noise_seed
+        )
 
     def budgets_for(self, workload_name: str) -> list[int]:
         grid = SMALL_BUDGETS if workload_name in _SMALL_GRID else LARGE_BUDGETS
@@ -186,7 +217,11 @@ def figure2_whatif_time(settings: ExperimentSettings | None = None) -> tuple[lis
     )
     constraints = TuningConstraints(max_indexes=20)
     records = runner.run_budget_sweep(
-        lambda seed: VanillaGreedyTuner(), budgets, constraints, stochastic=False
+        lambda seed: VanillaGreedyTuner(),
+        budgets,
+        constraints,
+        stochastic=False,
+        backend=settings.backend_spec(),
     )
     rows = []
     lines = [
@@ -220,7 +255,11 @@ def _grid_experiment(
     )
     budgets = settings.budgets_for(workload_name)
     records = runner.run_grid(
-        roster, budgets, list(settings.k_values), max_storage_bytes
+        roster,
+        budgets,
+        list(settings.k_values),
+        max_storage_bytes,
+        backend=settings.backend_spec(),
     )
     model = WhatIfTimeModel(workload)
     minutes = {b: model.minutes_for_budget(b) for b in budgets}
@@ -311,7 +350,13 @@ def convergence(
 
     series: dict[str, list[tuple[int, float]]] = {}
     for label, (factory, stochastic) in rl_roster().items():
-        record = runner.run_cell(factory, budget, constraints, stochastic=False)
+        record = runner.run_cell(
+            factory,
+            budget,
+            constraints,
+            stochastic=False,
+            backend=settings.backend_spec(),
+        )
         result = record.results[0]
         if label == "mcts":
             # The paper shows MCTS as a flat reference line (its average
@@ -360,6 +405,75 @@ def ablation(
         settings,
         f"{figure}: {workload_name} — MCTS policy ablation ({step} rollout)",
     )
+
+
+#: Noise scales σ for the robustness sweep (σ = 0 is the analytic engine).
+NOISE_GRID = (0.0, 0.1, 0.2, 0.4)
+
+
+def robustness(
+    workload_name: str = "tpch",
+    settings: ExperimentSettings | None = None,
+) -> tuple[list[RunRecord], dict[str, list[tuple[float, float]]], str]:
+    """E-R1 — robustness: tuner degradation under what-if cost error.
+
+    Re-runs a greedy / DTA / MCTS roster with the noisy backend at
+    increasing noise scales σ (multiplicative log-normal error on every
+    fresh what-if pricing; see
+    :class:`~repro.backend.noisy.NoisyBackend`). The reported improvement
+    stays *ground truth* — ``true_cost`` bypasses the perturbation — so the
+    series shows how much each search strategy's final configuration decays
+    when its guidance signal is wrong, not how wrong the signal is.
+    """
+    settings = settings or ExperimentSettings.from_env()
+    workload = settings.workload(workload_name)
+    runner = ExperimentRunner(
+        workload,
+        seeds=settings.seed_list(),
+        keep_results=False,
+        parallel=settings.jobs,
+    )
+    budget = settings.budgets_for(workload_name)[-1]
+    constraints = TuningConstraints(max_indexes=10)
+    roster: dict[str, tuple[TunerFactory, bool]] = {
+        "vanilla_greedy": (lambda seed: VanillaGreedyTuner(), False),
+        "dta": (lambda seed: DTATuner(), False),
+        "mcts": (lambda seed: MCTSTuner(seed=seed), True),
+    }
+
+    records: list[RunRecord] = []
+    series: dict[str, list[tuple[float, float]]] = {}
+    for label, (factory, stochastic) in roster.items():
+        points: list[tuple[float, float]] = []
+        for noise in NOISE_GRID:
+            backend = (
+                None
+                if noise <= 0.0
+                else BackendSpec(
+                    name="noisy", noise=noise, noise_seed=settings.noise_seed
+                )
+            )
+            record = runner.run_cell(
+                factory, budget, constraints, stochastic=stochastic, backend=backend
+            )
+            records.append(record)
+            points.append((noise, record.improvement_mean))
+        series[label] = points
+
+    lines = [
+        f"Robustness: {workload_name} — true improvement under what-if "
+        f"cost error (K={constraints.max_indexes}, B={budget})",
+        f"  {'noise σ':>8s}" + "".join(f"{label:>16s}" for label in series),
+    ]
+    lines.append("  " + "-" * (len(lines[-1]) - 2))
+    for i, noise in enumerate(NOISE_GRID):
+        cells = "".join(f"{series[label][i][1]:16.1f}" for label in series)
+        lines.append(f"  {noise:8.2f}" + cells)
+    lines.append(
+        "  (σ = 0 is the exact analytic engine; improvements are always "
+        "evaluated noise-free)"
+    )
+    return records, series, "\n".join(lines)
 
 
 # --------------------------------------------------------------------- #
@@ -441,6 +555,19 @@ def _convergence_entry(figure: str, workload_name: str, max_indexes: int):
     return run
 
 
+def _run_robustness(settings: ExperimentSettings) -> ExperimentArtifact:
+    records, series, text = robustness("tpch", settings)
+    return ExperimentArtifact(
+        "robustness",
+        text,
+        records=records,
+        series={
+            label: [list(point) for point in points]
+            for label, points in series.items()
+        },
+    )
+
+
 def _ablation_entry(figure: str, workload_name: str, rollout_policy: str):
     def run(settings: ExperimentSettings) -> ExperimentArtifact:
         records, text = ablation(workload_name, rollout_policy, settings)
@@ -474,6 +601,7 @@ EXPERIMENTS: dict[str, Callable[[ExperimentSettings], ExperimentArtifact]] = {
     "fig21": _convergence_entry("fig21", "tpch", 10),
     "fig22": _ablation_entry("fig22", "tpch", "myopic"),
     "fig23": _ablation_entry("fig23", "tpch", "random"),
+    "robustness": _run_robustness,
 }
 
 

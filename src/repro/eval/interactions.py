@@ -24,8 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from itertools import combinations
 
+from repro.backend.base import CostBackend
+from repro.backend.factory import build_backend
 from repro.catalog import Index, index_sort_key
-from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.query import Query, Workload
 
 
@@ -48,7 +49,7 @@ class InteractionRecord:
 
 
 def pair_interaction(
-    optimizer: WhatIfOptimizer, query: Query, a: Index, b: Index
+    optimizer: CostBackend, query: Query, a: Index, b: Index
 ) -> float:
     """Degree of interaction of ``{a, b}`` on one query (uncounted calls)."""
     base = optimizer.empty_cost(query)
@@ -78,7 +79,8 @@ def workload_interactions(
         max_pairs: Optional cap on the number of candidate pairs examined
             (pairs are enumerated in canonical order).
     """
-    optimizer = WhatIfOptimizer(workload)
+    # Interaction degrees are a ground-truth analysis: always analytic.
+    optimizer = build_backend("analytic", workload)
     tables_of = {
         query.qid: frozenset(
             access.table.name

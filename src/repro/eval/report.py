@@ -44,6 +44,7 @@ def record_to_dict(record: RunRecord) -> dict:
         "normalized_hits": record.normalized_hits,
         "cost_seconds": record.cost_seconds,
         "budget_policy": record.budget_policy,
+        "backend": record.backend,
         "event_counts": record.event_counts,
         "stop_reasons": record.stop_reasons,
         "seeds": record.seeds,

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.backend.factory import BackendSpec, resolve_spec
 from repro.catalog import Index
 from repro.config import ReproConfig, TuningConstraints
 from repro.eval.metrics import mean_and_std
@@ -64,6 +65,7 @@ class RunRecord:
             normalization (calls a whole-key cache would have counted).
         cost_seconds: Mean wall-clock spent inside the cost model.
         budget_policy: The budget discipline the cell ran under.
+        backend: The cost backend the cell ran against.
         event_counts: **Summed** session event counts by kind across seeds
             (``whatif_call``, ``budget_deny``, ``checkpoint``, ``stop``, …).
         stop_reasons: Early-stop reasons of the seeds a policy halted
@@ -88,6 +90,7 @@ class RunRecord:
     normalized_hits: float = 0.0
     cost_seconds: float = 0.0
     budget_policy: str = "fcfs"
+    backend: str = "analytic"
     event_counts: dict[str, int] = field(default_factory=dict)
     stop_reasons: list[str] = field(default_factory=list)
     seeds: list[int] = field(default_factory=list)
@@ -154,6 +157,25 @@ class ExperimentRunner:
     # cell spec construction and aggregation (shared serial/parallel)
     # ------------------------------------------------------------------ #
 
+    @staticmethod
+    def _check_backend(backend: BackendSpec | str | None) -> BackendSpec | None:
+        """Validate a grid-level backend selection.
+
+        The record backend captures *one session's* trace; a grid of
+        independent runs would overwrite the file per cell, so it is
+        rejected here (record with ``repro tune --backend record``).
+        """
+        if backend is None:
+            return None
+        spec = backend if isinstance(backend, BackendSpec) else resolve_spec(backend)
+        if spec.name == "record":
+            raise TuningError(
+                "the record backend captures a single session's trace; "
+                "record with `repro tune --backend record`, not in an "
+                "experiment grid"
+            )
+        return spec
+
     def _cell_specs(
         self,
         factory: TunerFactory,
@@ -162,6 +184,7 @@ class ExperimentRunner:
         stochastic: bool,
         budget_policy: str | None,
         label: str = "",
+        backend: BackendSpec | None = None,
     ) -> list[CellSpec]:
         """One spec per seed for a (tuner, K, B) cell, in seed order."""
         seeds = self._seeds if stochastic else self._seeds[:1]
@@ -178,6 +201,7 @@ class ExperimentRunner:
                     constraints=constraints,
                     seed=seed,
                     budget_policy=budget_policy,
+                    backend=backend,
                 )
             )
         return specs
@@ -189,6 +213,7 @@ class ExperimentRunner:
         budget: int,
         budget_policy: str | None,
         results: list[TuningResult],
+        backend: BackendSpec | None = None,
     ) -> RunRecord:
         """Fold per-seed outcomes (in seed order) into one record.
 
@@ -243,6 +268,7 @@ class ExperimentRunner:
             normalized_hits=_mean(norm_hits),
             cost_seconds=_mean(cost_secs),
             budget_policy=budget_policy or "fcfs",
+            backend=backend.name if backend is not None else "analytic",
             event_counts=event_counts,
             stop_reasons=stop_reasons,
             seeds=[outcome.seed for outcome in outcomes],
@@ -272,6 +298,7 @@ class ExperimentRunner:
         constraints: TuningConstraints,
         stochastic: bool = True,
         budget_policy: str | None = None,
+        backend: BackendSpec | str | None = None,
     ) -> RunRecord:
         """Run one (tuner, K, B) cell, averaging seeds when stochastic.
 
@@ -282,16 +309,23 @@ class ExperimentRunner:
             budget_policy: Optional budget-discipline name forwarded to
                 :meth:`~repro.tuners.base.Tuner.tune` (``None`` keeps the
                 config default, FCFS).
+            backend: Optional cost-backend selection (name or picklable
+                spec) applied to every seed (``None`` keeps the config
+                default, analytic). The record backend is rejected — see
+                :meth:`_check_backend`.
         """
+        backend = self._check_backend(backend)
         specs = self._cell_specs(
-            factory, budget, constraints, stochastic, budget_policy
+            factory, budget, constraints, stochastic, budget_policy, backend=backend
         )
         if self._parallel > 1:
             outcomes = execute_specs(specs, self._parallel)
             results: list[TuningResult] = []
         else:
             outcomes, results = self._run_specs_serial(specs)
-        return self._aggregate(outcomes, constraints, budget, budget_policy, results)
+        return self._aggregate(
+            outcomes, constraints, budget, budget_policy, results, backend
+        )
 
     def run_budget_sweep(
         self,
@@ -300,20 +334,26 @@ class ExperimentRunner:
         constraints: TuningConstraints,
         stochastic: bool = True,
         budget_policy: str | None = None,
+        backend: BackendSpec | str | None = None,
     ) -> list[RunRecord]:
         """Run one tuner across a budget axis (one record per budget).
 
         Like :meth:`run_grid` with a single algorithm and a single ``K``;
         under ``parallel > 1`` all (budget, seed) units run concurrently.
         """
+        backend = self._check_backend(backend)
         cells = [
-            self._cell_specs(factory, budget, constraints, stochastic, budget_policy)
+            self._cell_specs(
+                factory, budget, constraints, stochastic, budget_policy,
+                backend=backend,
+            )
             for budget in budgets
         ]
         return self._execute_cells(
             cells,
             [(budget, constraints) for budget in budgets],
             budget_policy,
+            backend,
         )
 
     def run_grid(
@@ -323,6 +363,7 @@ class ExperimentRunner:
         k_values: list[int],
         max_storage_bytes: int | None = None,
         budget_policy: str | None = None,
+        backend: BackendSpec | str | None = None,
     ) -> list[RunRecord]:
         """Run the full grid.
 
@@ -339,10 +380,13 @@ class ExperimentRunner:
                 cells.
             budget_policy: Optional budget-discipline name applied to all
                 cells (``None`` keeps the config default, FCFS).
+            backend: Optional cost-backend selection applied to all cells
+                (``None`` keeps the config default, analytic).
 
         Returns:
             Records ordered by (K, budget, insertion order of factories).
         """
+        backend = self._check_backend(backend)
         cells: list[list[CellSpec]] = []
         cell_meta: list[tuple[int, TuningConstraints]] = []
         for k in k_values:
@@ -359,16 +403,18 @@ class ExperimentRunner:
                             stochastic,
                             budget_policy,
                             label=label,
+                            backend=backend,
                         )
                     )
                     cell_meta.append((budget, constraints))
-        return self._execute_cells(cells, cell_meta, budget_policy)
+        return self._execute_cells(cells, cell_meta, budget_policy, backend)
 
     def _execute_cells(
         self,
         cells: list[list[CellSpec]],
         cell_meta: list[tuple[int, TuningConstraints]],
         budget_policy: str | None,
+        backend: BackendSpec | None = None,
     ) -> list[RunRecord]:
         """Run grouped cell specs (serially or pooled) and aggregate each."""
         records: list[RunRecord] = []
@@ -380,12 +426,16 @@ class ExperimentRunner:
                 chunk = outcomes[cursor : cursor + len(cell)]
                 cursor += len(cell)
                 records.append(
-                    self._aggregate(chunk, constraints, budget, budget_policy, [])
+                    self._aggregate(
+                        chunk, constraints, budget, budget_policy, [], backend
+                    )
                 )
         else:
             for cell, (budget, constraints) in zip(cells, cell_meta, strict=True):
                 outcomes, results = self._run_specs_serial(cell)
                 records.append(
-                    self._aggregate(outcomes, constraints, budget, budget_policy, results)
+                    self._aggregate(
+                        outcomes, constraints, budget, budget_policy, results, backend
+                    )
                 )
         return records

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.optimizer.whatif import WhatIfOptimizer
+from repro.backend.factory import build_backend
 from repro.workload.query import Query, Workload
 
 
@@ -72,7 +72,9 @@ class WhatIfTimeModel:
         self._per_scan = per_scan_seconds
         self._startup = startup_seconds_per_query
         self._bookkeeping = bookkeeping_fraction
-        self._optimizer = WhatIfOptimizer(workload)
+        # Always the analytic backend: the time model reads plan shapes
+        # (table accesses), which only the analytic engine defines.
+        self._optimizer = build_backend("analytic", workload)
 
     def call_seconds(self, query: Query) -> float:
         """Latency of one what-if call on ``query``."""

@@ -83,6 +83,34 @@ class ParallelExecutionError(ReproError):
         self.seed = seed
 
 
+class TraceError(ReproError):
+    """Raised for malformed or mismatched cost-backend trace files.
+
+    Covers unreadable/garbled JSONL, unsupported trace versions, and
+    header mismatches (the trace was recorded against a different
+    workload or cache-normalization setting than the replay session).
+    """
+
+
+class TraceMissError(TraceError):
+    """Raised when replay needs a (query, configuration) cost not in the trace.
+
+    The replay backend serves costs exclusively from its recorded trace;
+    a miss means the replayed run diverged from the recorded one (different
+    tuner, seed, budget, or knobs) — replay never falls back to the cost
+    model.
+
+    Attributes:
+        qid: Query id of the missing pair.
+        key: Canonical configuration key (sorted index display strings).
+    """
+
+    def __init__(self, message: str, qid: str = "", key: tuple = ()):
+        super().__init__(message)
+        self.qid = qid
+        self.key = key
+
+
 class TuningError(ReproError):
     """Raised for invalid tuning requests (e.g., non-positive budget)."""
 

@@ -1,4 +1,4 @@
-"""The project-specific rules REP001–REP006.
+"""The project-specific rules REP001–REP007.
 
 Each rule enforces one invariant the reproduction's correctness argument
 leans on (see DESIGN.md "Static analysis & invariants"):
@@ -8,7 +8,9 @@ leans on (see DESIGN.md "Static analysis & invariants"):
 * REP003 — randomness is injected, never global;
 * REP004 — enumeration code never iterates unordered sets;
 * REP005 — cost code never compares floats for equality;
-* REP006 — no shared mutable defaults in signatures or dataclasses.
+* REP006 — no shared mutable defaults in signatures or dataclasses;
+* REP007 — cost engines are resolved via the backend factory, never by
+  constructing ``WhatIfOptimizer`` directly.
 """
 
 from __future__ import annotations
@@ -57,7 +59,7 @@ class BudgetLeakRule(Rule):
 
     rule_id = "REP001"
     title = "budget-leak: un-metered cost-path call outside the allowlist"
-    exempt = ("optimizer", "eval", "lint")
+    exempt = ("optimizer", "backend", "eval", "lint")
 
     _EVAL_ONLY = frozenset({"true_cost", "true_workload_cost"})
     _PRIVATE = frozenset({"_price", "_price_batch"})
@@ -96,6 +98,58 @@ class BudgetLeakRule(Rule):
         else:
             return False
         return "model" in terminal.lower()
+
+
+@register
+class BackendBoundaryRule(Rule):
+    """REP007: direct ``WhatIfOptimizer`` use outside the backend layer.
+
+    The cost engine is a pluggable layer: consumers hold a
+    :class:`~repro.backend.base.CostBackend` resolved through
+    :func:`~repro.backend.factory.build_backend` (or a picklable
+    ``BackendSpec``). Importing or constructing the concrete
+    ``WhatIfOptimizer`` elsewhere hard-wires the analytic engine, silently
+    ignoring the session's ``--backend`` selection — a record run that
+    costs through a direct construction writes an incomplete trace, and a
+    noisy-robustness run measures the wrong engine.
+    """
+
+    rule_id = "REP007"
+    title = "backend-boundary: direct WhatIfOptimizer construction/import"
+    exempt = ("optimizer", "backend", "lint")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is not None and node.module.split(".")[:2] == [
+            "repro",
+            "optimizer",
+        ]:
+            for alias in node.names:
+                if alias.name == "WhatIfOptimizer":
+                    self.report(
+                        node,
+                        "import of the concrete WhatIfOptimizer outside "
+                        "repro/backend and repro/optimizer; annotate with "
+                        "repro.backend.CostBackend and resolve engines via "
+                        "build_backend",
+                    )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        else:
+            name = None
+        if name == "WhatIfOptimizer":
+            self.report(
+                node,
+                "direct WhatIfOptimizer construction bypasses the backend "
+                "factory; use repro.backend.build_backend (honours "
+                "--backend/REPRO_BACKEND)",
+            )
+        self.generic_visit(node)
 
 
 @register

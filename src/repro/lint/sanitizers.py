@@ -182,9 +182,15 @@ class EventStreamValidator:
 
 @dataclass
 class SessionSanitizers:
-    """The sanitizer instances installed on one session."""
+    """The sanitizer instances installed on one session.
 
-    monotonicity: MonotonicityChecker
+    ``monotonicity`` is ``None`` when the session's cost backend declares
+    itself non-monotonic (``backend.monotonic`` is false, e.g. the noisy
+    backend) — perturbed costs violate Assumption 1 by design, so checking
+    it would report the backend's intended behaviour as a bug.
+    """
+
+    monotonicity: MonotonicityChecker | None
     events: EventStreamValidator
 
 
@@ -203,13 +209,17 @@ def install_session_sanitizers(session: "TuningSession") -> SessionSanitizers:
     session's optimizer and an :class:`EventStreamValidator` (bound to the
     session's global budget) on its event log. Re-installing on a session —
     or on a second session wrapping the same optimizer/event log — reuses
-    the already-installed instances rather than stacking duplicates.
+    the already-installed instances rather than stacking duplicates. The
+    monotonicity checker is skipped for backends that declare
+    ``monotonic = False`` (Assumption 1 does not hold for perturbed costs).
     """
     optimizer = session.optimizer
-    checker = _find_installed(optimizer.cost_observers, MonotonicityChecker)
-    if checker is None:
-        checker = MonotonicityChecker()
-        optimizer.add_cost_observer(checker.on_cost)
+    checker = None
+    if getattr(optimizer, "monotonic", True):
+        checker = _find_installed(optimizer.cost_observers, MonotonicityChecker)
+        if checker is None:
+            checker = MonotonicityChecker()
+            optimizer.add_cost_observer(checker.on_cost)
     validator = _find_installed(session.events.observers, EventStreamValidator)
     if validator is None:
         validator = EventStreamValidator(budget=session.policy.budget)

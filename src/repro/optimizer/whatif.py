@@ -91,6 +91,8 @@ class WhatIfStats:
             :meth:`CostModel.cost` (for pooled batches: the batch wall time).
         batch_calls: Batched pricing passes issued.
         batched_pairs: Uncached pairs priced by those passes.
+        replayed: Evaluations served from a recorded trace instead of the
+            cost model (always 0 outside the replay backend).
     """
 
     cache_hits: int = 0
@@ -100,6 +102,7 @@ class WhatIfStats:
     cost_seconds: float = 0.0
     batch_calls: int = 0
     batched_pairs: int = 0
+    replayed: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -118,6 +121,7 @@ class WhatIfStats:
             "cost_seconds": self.cost_seconds,
             "batch_calls": self.batch_calls,
             "batched_pairs": self.batched_pairs,
+            "replayed": self.replayed,
         }
 
 
@@ -242,6 +246,11 @@ class WhatIfOptimizer:
         """Whether relevant-index cache normalization is active."""
         return self._normalize
 
+    @property
+    def cost_model(self) -> CostModel:
+        """The underlying analytic cost model (query prep + raw pricing)."""
+        return self._model
+
     def add_cost_observer(self, observer) -> None:
         """Register ``observer(qid, configuration, cost)`` on every pricing.
 
@@ -294,10 +303,22 @@ class WhatIfOptimizer:
             return prepared.relevant_subset(key)
         return key
 
+    def _evaluate(self, prepared: PreparedQuery, key: frozenset[Index]) -> float:
+        """One raw cost evaluation — the single cost-backend seam.
+
+        Every fresh pricing (counted calls, free empty-configuration costs,
+        uncounted ground-truth evaluations, pooled batches) funnels through
+        here; subclasses in :mod:`repro.backend` override it to perturb
+        (:class:`~repro.backend.noisy.NoisyBackend`) or replace
+        (:class:`~repro.backend.replay.ReplayBackend`) the analytic cost
+        model without touching caching, normalization, or budget accounting.
+        """
+        return self._model.cost(prepared, key)
+
     def _price(self, prepared: PreparedQuery, key: frozenset[Index]) -> float:
-        """One instrumented cost-model pricing."""
+        """One instrumented cost evaluation."""
         start = perf_counter()
-        cost = self._model.cost(prepared, key)
+        cost = self._evaluate(prepared, key)
         self._stats.cost_seconds += perf_counter() - start
         self._stats.cost_evaluations += 1
         return cost
@@ -481,7 +502,7 @@ class WhatIfOptimizer:
             executor = self._ensure_executor()
             start = perf_counter()
             costs = list(
-                executor.map(lambda item: self._model.cost(item[1], item[2]), pending)
+                executor.map(lambda item: self._evaluate(item[1], item[2]), pending)
             )
             self._stats.cost_seconds += perf_counter() - start
             self._stats.cost_evaluations += len(pending)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.backend.factory import BackendSpec
 from repro.budget.events import SessionEvent
 from repro.catalog import Index
 from repro.config import TuningConstraints
@@ -47,6 +48,11 @@ class CellSpec:
             ``tuner``; recorded for merge order and error messages).
         budget_policy: Optional budget-discipline name forwarded to
             :meth:`~repro.tuners.base.Tuner.tune`.
+        backend: Optional cost-backend spec forwarded to
+            :meth:`~repro.tuners.base.Tuner.tune` (``None`` keeps the
+            config default, analytic). A :class:`BackendSpec` is plain
+            primitives, so it pickles across the pool; the worker rebuilds
+            the live backend locally.
     """
 
     label: str
@@ -57,6 +63,7 @@ class CellSpec:
     constraints: TuningConstraints
     seed: int
     budget_policy: str | None = None
+    backend: BackendSpec | None = None
 
 
 @dataclass

@@ -2,9 +2,10 @@
 
 :func:`run_seed` is the module-level entry point a process pool imports and
 executes. It rebuilds all prepared optimizer state locally (the tuner's
-``tune()`` constructs a fresh :class:`~repro.optimizer.whatif.WhatIfOptimizer`
-over the shipped workload, exactly as the serial path does per seed),
-evaluates the ground-truth improvement worker-side, and returns a compact
+``tune()`` resolves a fresh :class:`~repro.backend.base.CostBackend` from
+the spec's picklable backend selection over the shipped workload, exactly
+as the serial path does per seed), evaluates the ground-truth improvement
+worker-side, and returns a compact
 :class:`~repro.parallel.spec.SeedOutcome`.
 
 The same function body backs the serial path
@@ -37,6 +38,7 @@ def run_seed_with_result(spec: CellSpec) -> tuple[SeedOutcome, TuningResult]:
         constraints=spec.constraints,
         candidates=list(spec.candidates),
         budget_policy=spec.budget_policy,
+        backend=spec.backend,
     )
     elapsed = time.perf_counter() - start
     improvement = result.true_improvement()

@@ -19,12 +19,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.catalog import Index, index_sort_key
-from repro.optimizer.whatif import WhatIfOptimizer
+from repro.backend.base import CostBackend
 from repro.rng import make_np_rng
 from repro.tuners.base import Tuner, TuningSession
 
 
-def table_query_counts(optimizer: WhatIfOptimizer) -> dict[str, int]:
+def table_query_counts(optimizer: CostBackend) -> dict[str, int]:
     """How many workload queries access each table (shared feature input)."""
     counts: dict[str, int] = {}
     for query in optimizer.workload:
@@ -35,7 +35,7 @@ def table_query_counts(optimizer: WhatIfOptimizer) -> dict[str, int]:
 
 
 def index_features(
-    optimizer: WhatIfOptimizer,
+    optimizer: CostBackend,
     index: Index,
     query_counts: dict[str, int] | None = None,
 ) -> np.ndarray:

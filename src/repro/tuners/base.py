@@ -14,17 +14,18 @@ import abc
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.backend.base import CostBackend
+from repro.backend.factory import BackendSpec, build_backend
 from repro.budget.events import EventLog, SessionEvent
 from repro.budget.policy import BudgetPolicy, SliceAllowance, build_policy
 from repro.catalog import Index
 from repro.config import ReproConfig, TuningConstraints
 from repro.exceptions import TuningError
-from repro.optimizer.whatif import WhatIfOptimizer
 from repro.workload.candidates import CandidateGenerator
 from repro.workload.query import Query, Workload
 
 
-def evaluated_cost(optimizer: WhatIfOptimizer, query: Query, configuration) -> float:
+def evaluated_cost(optimizer: CostBackend, query: Query, configuration) -> float:
     """``cost(q, C)`` under the optimizer's budget policy.
 
     Uses a counted what-if call while the policy admits the query and falls
@@ -55,9 +56,15 @@ class TuningSession:
         budget: What-if call budget ``B`` (mutually exclusive with
             ``policy``; builds an FCFS policy).
         policy: Budget policy to draw counted calls through.
-        optimizer: Pre-built optimizer to adopt (back-compat wrapping;
-            mutually exclusive with ``budget``/``policy``).
-        optimizer_config: Engine knobs for a session-built optimizer.
+        optimizer: Pre-built cost backend to adopt (back-compat alias for
+            ``backend``; mutually exclusive with ``budget``/``policy``).
+        backend: Cost backend selection — a backend *name* (see
+            :data:`repro.backend.factory.BACKEND_NAMES`), a picklable
+            :class:`~repro.backend.factory.BackendSpec`, or a live
+            :class:`~repro.backend.base.CostBackend` instance to adopt
+            (``budget``/``policy`` must then be ``None``). Defaults to the
+            config's ``backend`` knob (analytic).
+        optimizer_config: Engine knobs for a session-built backend.
         events: Event stream to use (a fresh one is created when omitted).
     """
 
@@ -69,7 +76,8 @@ class TuningSession:
         *,
         budget: int | None = None,
         policy: BudgetPolicy | None = None,
-        optimizer: WhatIfOptimizer | None = None,
+        optimizer: CostBackend | None = None,
+        backend: CostBackend | BackendSpec | str | None = None,
         optimizer_config: ReproConfig | None = None,
         events: EventLog | None = None,
     ):
@@ -77,20 +85,28 @@ class TuningSession:
         self._candidates = list(candidates) if candidates is not None else []
         self._constraints = constraints or TuningConstraints()
         if optimizer is not None:
-            if budget is not None or policy is not None:
+            if backend is not None:
                 raise TuningError(
-                    "pass either a pre-built optimizer or budget/policy to "
+                    "pass either optimizer (back-compat alias) or backend to "
                     "TuningSession, not both"
                 )
-            # Re-wrapping an optimizer another session drives must keep its
-            # event stream — the stream is part of the optimizer's identity.
+            backend = optimizer
+        if backend is not None and not isinstance(backend, (str, BackendSpec)):
+            # A live backend instance: adopt it (back-compat wrapping).
+            if budget is not None or policy is not None:
+                raise TuningError(
+                    "pass either a pre-built backend or budget/policy to "
+                    "TuningSession, not both"
+                )
+            # Re-wrapping a backend another session drives must keep its
+            # event stream — the stream is part of the backend's identity.
             if events is None:
-                events = optimizer.events
-            self._optimizer = optimizer
+                events = backend.events
+            self._optimizer = backend
         self._events = events if events is not None else EventLog()
-        if optimizer is None:
-            self._optimizer = WhatIfOptimizer(
-                workload, budget=budget, policy=policy, config=optimizer_config
+        if backend is None or isinstance(backend, (str, BackendSpec)):
+            self._optimizer = build_backend(
+                backend, workload, budget=budget, policy=policy, config=optimizer_config
             )
         self._optimizer.attach_events(self._events)
         self.policy.bind(workload)
@@ -105,9 +121,9 @@ class TuningSession:
             install_session_sanitizers(self)
 
     @classmethod
-    def wrap(cls, optimizer: WhatIfOptimizer) -> "TuningSession":
-        """Adopt a bare optimizer (back-compat for pre-session callers)."""
-        return cls(optimizer.workload, optimizer=optimizer)
+    def wrap(cls, optimizer: CostBackend) -> "TuningSession":
+        """Adopt a bare backend (back-compat for pre-session callers)."""
+        return cls(optimizer.workload, backend=optimizer)
 
     # ------------------------------------------------------------------ #
     # owned state
@@ -126,7 +142,13 @@ class TuningSession:
         return self._constraints
 
     @property
-    def optimizer(self) -> WhatIfOptimizer:
+    def optimizer(self) -> CostBackend:
+        """The session's cost backend (historic name kept for callers)."""
+        return self._optimizer
+
+    @property
+    def backend(self) -> CostBackend:
+        """The session's cost backend (alias of :attr:`optimizer`)."""
         return self._optimizer
 
     @property
@@ -245,8 +267,8 @@ class TuningSession:
             self._optimizer.policy = inner
 
 
-def as_session(source: TuningSession | WhatIfOptimizer) -> TuningSession:
-    """Coerce a bare optimizer into a session (back-compat helper)."""
+def as_session(source: TuningSession | CostBackend) -> TuningSession:
+    """Coerce a bare backend into a session (back-compat helper)."""
     if isinstance(source, TuningSession):
         return source
     return TuningSession.wrap(source)
@@ -265,7 +287,7 @@ class TuningResult:
         budget: The budget the run was given.
         history: Convergence checkpoints ``(calls_used, best_config)`` in
             chronological order; used for the Figure 14/21 round plots.
-        optimizer: The what-if optimizer used (exposes cache/log for
+        optimizer: The cost backend used (exposes cache/log for
             inspection and uncounted ground-truth evaluation).
         events: The session's structured event stream.
         stop_reason: Why the budget policy halted the session early
@@ -279,7 +301,7 @@ class TuningResult:
     calls_used: int
     budget: int | None
     history: list[tuple[int, frozenset[Index]]] = field(default_factory=list)
-    optimizer: WhatIfOptimizer | None = field(default=None, repr=False)
+    optimizer: CostBackend | None = field(default=None, repr=False)
     events: list[SessionEvent] = field(default_factory=list, repr=False)
     stop_reason: str | None = None
 
@@ -342,6 +364,7 @@ class Tuner(abc.ABC):
         candidates: list[Index] | None = None,
         optimizer_config: ReproConfig | None = None,
         budget_policy: BudgetPolicy | str | None = None,
+        backend: CostBackend | BackendSpec | str | None = None,
     ) -> TuningResult:
         """Run the tuner.
 
@@ -364,9 +387,14 @@ class Tuner(abc.ABC):
                 ``budget``, or a pre-built policy instance (``budget`` must
                 then be ``None``; the policy's own meter governs). Defaults
                 to the config's ``budget_policy`` (FCFS).
+            backend: Cost backend: a backend *name* (see
+                :data:`repro.backend.factory.BACKEND_NAMES`), a picklable
+                :class:`~repro.backend.factory.BackendSpec`, or a live
+                backend instance. Defaults to the config's ``backend``
+                (analytic, the bit-identical baseline).
 
         Returns:
-            The tuning result, carrying the optimizer for evaluation.
+            The tuning result, carrying the backend for evaluation.
         """
         if budget is not None and budget < 1:
             raise TuningError(f"budget must be positive, got {budget}")
@@ -385,13 +413,30 @@ class Tuner(abc.ABC):
                 )
         config = optimizer_config or ReproConfig.from_env()
         policy = self._resolve_policy(budget, budget_policy, config)
-        session = TuningSession(
-            workload,
-            candidates,
-            constraints,
-            policy=policy,
-            optimizer_config=optimizer_config,
-        )
+        if backend is not None and not isinstance(backend, (str, BackendSpec)):
+            # Adopting a live backend: it owns its policy; the resolved one
+            # would conflict inside TuningSession.
+            if budget is not None or budget_policy is not None:
+                raise TuningError(
+                    "a pre-built backend carries its own budget policy; "
+                    "pass budget=None without budget_policy"
+                )
+            session = TuningSession(
+                workload,
+                candidates,
+                constraints,
+                backend=backend,
+                optimizer_config=optimizer_config,
+            )
+        else:
+            session = TuningSession(
+                workload,
+                candidates,
+                constraints,
+                policy=policy,
+                backend=backend,
+                optimizer_config=optimizer_config,
+            )
         optimizer = session.optimizer
         baseline = session.baseline_cost
         configuration = self._enumerate(session)

@@ -20,13 +20,13 @@ from __future__ import annotations
 
 from repro.catalog import Index, index_sort_key
 from repro.config import TuningConstraints
-from repro.optimizer.whatif import WhatIfOptimizer
+from repro.backend.base import CostBackend
 from repro.tuners.base import Tuner, TuningSession, as_session
 from repro.workload.query import Workload
 
 
 def greedy_enumerate(
-    session: TuningSession | WhatIfOptimizer,
+    session: TuningSession | CostBackend,
     candidates: list[Index],
     constraints: TuningConstraints,
     workload: Workload | None = None,

@@ -12,6 +12,7 @@ for the workload.
 
 from __future__ import annotations
 
+from repro.backend.factory import BackendSpec
 from repro.catalog import Index
 from repro.config import ReproConfig, TuningConstraints
 from repro.eval.timemodel import WhatIfTimeModel
@@ -45,6 +46,7 @@ class TimeBudgetedTuner:
         constraints: TuningConstraints | None = None,
         candidates: list[Index] | None = None,
         optimizer_config: ReproConfig | None = None,
+        backend: BackendSpec | str | None = None,
     ) -> TuningResult:
         """Tune under a wall-clock budget, mapped to a what-if call budget.
 
@@ -54,6 +56,8 @@ class TimeBudgetedTuner:
             constraints: Outcome constraints ``Γ``.
             candidates: Optional pre-built candidate set.
             optimizer_config: Engine knobs forwarded to the inner tuner.
+            backend: Cost-backend selection forwarded to the inner tuner
+                (``None`` keeps the config default, analytic).
 
         Raises:
             TuningError: If the time budget affords no what-if calls at all
@@ -74,4 +78,5 @@ class TimeBudgetedTuner:
             constraints=constraints,
             candidates=candidates,
             optimizer_config=optimizer_config,
+            backend=backend,
         )

@@ -25,8 +25,8 @@ from repro.exceptions import TuningError
 from repro.workload.analysis import bind_query
 from repro.workload.query import Query, Workload
 
-if TYPE_CHECKING:  # deferred at runtime: optimizer imports workload.analysis
-    from repro.optimizer.whatif import WhatIfOptimizer
+if TYPE_CHECKING:  # deferred at runtime: the backend imports workload.analysis
+    from repro.backend.base import CostBackend
 
 
 @dataclass(frozen=True)
@@ -71,7 +71,7 @@ def signature_distance(a: QuerySignature, b: QuerySignature) -> float:
     return 0.85 * structural + 0.15 * cost_gap
 
 
-def query_signature(optimizer: "WhatIfOptimizer", query: Query) -> QuerySignature:
+def query_signature(optimizer: "CostBackend", query: Query) -> QuerySignature:
     """Compute the compression signature of one query."""
     workload = optimizer.workload
     bound = bind_query(workload.schema, query.statement, query.qid)
@@ -128,9 +128,10 @@ class WorkloadCompressor:
         if len(workload) <= self._target:
             return workload
 
-        from repro.optimizer.whatif import WhatIfOptimizer
+        from repro.backend.factory import build_backend
 
-        optimizer = WhatIfOptimizer(workload)
+        # Signatures feed on clean empty-configuration costs: analytic.
+        optimizer = build_backend("analytic", workload)
         queries = list(workload)
         signatures = {q.qid: query_signature(optimizer, q) for q in queries}
         # Weighted importance: weight × cost — expensive frequent queries

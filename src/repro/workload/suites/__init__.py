@@ -1,0 +1,23 @@
+"""Benchmark and "real" workload definitions used by the paper's evaluation.
+
+Five workloads, matching Table 1:
+
+========  ======  =========  ========  ==========  ==========  ==========
+Name      Size    # Queries  # Tables  Avg #Joins  Avg #Filt.  Avg #Scans
+========  ======  =========  ========  ==========  ==========  ==========
+JOB       9.2 GB  33         21        7.9         2.5         8.9
+TPC-H     sf=10   22         8         2.8         0.3         3.7
+TPC-DS    sf=10   99         24        7.7         0.5         8.8
+Real-D    587 GB  32         7,912     15.6        0.2         17
+Real-M    26 GB   317        474       20.2        1.5         21.7
+========  ======  =========  ========  ==========  ==========  ==========
+
+TPC-H ships with hand-written SQL for each of the 22 templates (adapted to
+the library's SELECT subset); TPC-DS, JOB, Real-D and Real-M are synthesized
+over their (real or statistically-matched) schemas with profiles calibrated
+to the table above. All workloads are deterministic given the registry seed.
+"""
+
+from repro.workload.suites.registry import available_workloads, get_workload
+
+__all__ = ["available_workloads", "get_workload"]

@@ -170,7 +170,7 @@ def job_workload(synthesized: bool = False) -> Workload:
     schema = job_schema()
     if not synthesized:
         from repro.workload.query import Query
-        from repro.workloads.job_templates import JOB_TEMPLATE_SQL
+        from repro.workload.suites.job_templates import JOB_TEMPLATE_SQL
 
         queries = [
             Query(qid=qid, sql=sql.strip())

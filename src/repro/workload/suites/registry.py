@@ -12,10 +12,10 @@ from typing import Callable
 
 from repro.exceptions import TuningError
 from repro.workload.query import Workload
-from repro.workloads.job import job_workload
-from repro.workloads.real import real_d_workload, real_m_workload
-from repro.workloads.tpcds import tpcds_workload
-from repro.workloads.tpch import tpch_workload
+from repro.workload.suites.job import job_workload
+from repro.workload.suites.real import real_d_workload, real_m_workload
+from repro.workload.suites.tpcds import tpcds_workload
+from repro.workload.suites.tpch import tpch_workload
 
 _BUILDERS: dict[str, Callable[[float], Workload]] = {}
 _CACHE: dict[tuple[str, float], Workload] = {}

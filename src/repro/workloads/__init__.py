@@ -1,23 +1,32 @@
-"""Benchmark and "real" workload definitions used by the paper's evaluation.
+"""Deprecated alias for :mod:`repro.workload.suites`.
 
-Five workloads, matching Table 1:
-
-========  ======  =========  ========  ==========  ==========  ==========
-Name      Size    # Queries  # Tables  Avg #Joins  Avg #Filt.  Avg #Scans
-========  ======  =========  ========  ==========  ==========  ==========
-JOB       9.2 GB  33         21        7.9         2.5         8.9
-TPC-H     sf=10   22         8         2.8         0.3         3.7
-TPC-DS    sf=10   99         24        7.7         0.5         8.8
-Real-D    587 GB  32         7,912     15.6        0.2         17
-Real-M    26 GB   317        474       20.2        1.5         21.7
-========  ======  =========  ========  ==========  ==========  ==========
-
-TPC-H ships with hand-written SQL for each of the 22 templates (adapted to
-the library's SELECT subset); TPC-DS, JOB, Real-D and Real-M are synthesized
-over their (real or statistically-matched) schemas with profiles calibrated
-to the table above. All workloads are deterministic given the registry seed.
+The benchmark/suite definitions moved under the main workload namespace
+(``repro.workload.suites``) so everything workload-shaped lives in one
+package. This shim keeps ``repro.workloads`` (and its submodules, e.g.
+``repro.workloads.tpch``) importable; it emits a :class:`DeprecationWarning`
+once at import time and will be removed in a future release.
 """
 
-from repro.workloads.registry import available_workloads, get_workload
+import importlib
+import sys
+import warnings
+
+from repro.workload.suites import available_workloads, get_workload
+
+warnings.warn(
+    "repro.workloads is deprecated; import repro.workload.suites instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+# Alias the old submodule paths to the moved modules so existing
+# `from repro.workloads.tpch import ...` imports keep resolving (to the
+# *same* module objects — no double definitions). The attribute is set
+# too, so `repro.workloads.tpch` resolves after a plain package import.
+for _name in ("job", "job_templates", "real", "registry", "tpcds", "tpch"):
+    _module = importlib.import_module(f"repro.workload.suites.{_name}")
+    sys.modules[f"{__name__}.{_name}"] = _module
+    setattr(sys.modules[__name__], _name, _module)
+del _name, _module
 
 __all__ = ["available_workloads", "get_workload"]

@@ -1,0 +1,95 @@
+"""Shared fixtures for the cost-backend conformance suite.
+
+The conformance tests price only (query, configuration) pairs from a fixed
+"covered" universe — the empty configuration plus all singletons and pairs
+over the first few toy candidates — so the replay backend can serve every
+test from one pre-recorded trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend import BACKEND_NAMES, BackendSpec, build_backend
+
+#: Number of leading toy candidates the conformance universe is built from.
+N_CANDIDATES = 4
+
+
+def covered_configs(candidates):
+    """The configuration universe conformance tests may price."""
+    head = list(candidates[:N_CANDIDATES])
+    configs = [frozenset()]
+    configs += [frozenset([ix]) for ix in head]
+    configs += [
+        frozenset([head[i], head[j]])
+        for i in range(len(head))
+        for j in range(i + 1, len(head))
+    ]
+    return configs
+
+
+@pytest.fixture(scope="session")
+def toy_trace(tmp_path_factory, toy_workload, toy_candidates):
+    """A trace covering the whole conformance universe for every query."""
+    path = tmp_path_factory.mktemp("backend") / "toy_trace.jsonl"
+    recorder = build_backend(
+        BackendSpec(name="record", trace_path=str(path)), toy_workload
+    )
+    for query in toy_workload:
+        for config in covered_configs(toy_candidates):
+            recorder.whatif_cost(query, config)
+        recorder.true_workload_cost(covered_configs(toy_candidates)[-1])
+    recorder.save_trace()
+    return path
+
+
+@pytest.fixture(scope="session")
+def universe(toy_candidates):
+    """The covered configuration universe as a fixture (list of frozensets)."""
+    return covered_configs(toy_candidates)
+
+
+@pytest.fixture(scope="session")
+def counting_pairs(toy_workload, universe):
+    """(query, config) pairs that consume budget when priced in this order.
+
+    Normalization is backend-independent, so pairs probed as counted on the
+    analytic engine are counted on every backend. Replaying the list on a
+    fresh backend consumes exactly ``len(counting_pairs)`` budget units.
+    """
+    probe = build_backend("analytic", toy_workload)
+    pairs = []
+    for query in toy_workload.queries:
+        for config in universe[1:]:
+            before = probe.calls_used
+            probe.whatif_cost(query, config)
+            if probe.calls_used > before:
+                pairs.append((query, config))
+    assert len(pairs) >= 4, "toy universe too small for the conformance suite"
+    return pairs
+
+
+@pytest.fixture(params=sorted(BACKEND_NAMES))
+def backend_name(request):
+    return request.param
+
+
+@pytest.fixture
+def make_backend(backend_name, toy_workload, toy_trace, tmp_path):
+    """Factory building the parametrized backend over the toy workload."""
+
+    def make(budget=None, **kwargs):
+        if backend_name == "record":
+            spec = BackendSpec(
+                name="record", trace_path=str(tmp_path / "recorded.jsonl")
+            )
+        elif backend_name == "replay":
+            spec = BackendSpec(name="replay", trace_path=str(toy_trace))
+        elif backend_name == "noisy":
+            spec = BackendSpec(name="noisy", noise=0.25, noise_seed=7)
+        else:
+            spec = BackendSpec(name="analytic")
+        return build_backend(spec, toy_workload, budget=budget, **kwargs)
+
+    return make

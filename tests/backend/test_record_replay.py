@@ -1,0 +1,120 @@
+"""Record → replay: bit-identical sessions with zero cost-model invocations."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.backend import BackendSpec, TraceHeader, build_backend, read_trace
+from repro.exceptions import TraceError, TraceMissError, TuningError
+from repro.optimizer.cost_model import CostModel
+from repro.tuners import MCTSTuner, VanillaGreedyTuner
+
+
+def _tune(workload, backend_spec, tuner):
+    return tuner.tune(workload, budget=60, backend=backend_spec)
+
+
+@pytest.fixture(
+    params=[
+        ("greedy", lambda: VanillaGreedyTuner()),
+        ("mcts", lambda: MCTSTuner(seed=0)),
+    ],
+    ids=lambda p: p[0],
+)
+def tuner_factory(request):
+    return request.param[1]
+
+
+def test_replay_reproduces_the_session_without_the_cost_model(
+    tmp_path, toy_workload, tuner_factory, monkeypatch
+):
+    trace = tmp_path / "trace.jsonl"
+    recorded = _tune(
+        toy_workload, BackendSpec(name="record", trace_path=str(trace)), tuner_factory()
+    )
+    recorded_improvement = recorded.true_improvement()
+    # Save only after the ground-truth evaluation so the trace also covers
+    # the uncounted pricings a replayed session will need.
+    recorded.optimizer.save_trace()
+
+    def boom(self, prepared, key):  # pragma: no cover - must never run
+        raise AssertionError("replay must not invoke the cost model")
+
+    monkeypatch.setattr(CostModel, "cost", boom)
+    replayed = _tune(
+        toy_workload, BackendSpec(name="replay", trace_path=str(trace)), tuner_factory()
+    )
+
+    assert replayed.configuration == recorded.configuration
+    assert replayed.estimated_cost == recorded.estimated_cost
+    assert replayed.baseline_cost == recorded.baseline_cost
+    assert replayed.calls_used == recorded.calls_used
+    assert replayed.true_improvement() == recorded_improvement
+    assert [
+        (c.ordinal, c.qid, c.configuration, c.cost)
+        for c in replayed.optimizer.call_log
+    ] == [
+        (c.ordinal, c.qid, c.configuration, c.cost)
+        for c in recorded.optimizer.call_log
+    ]
+    assert replayed.optimizer.stats.replayed > 0
+
+
+def test_replay_rejects_a_foreign_workload(tmp_path, toy_workload, figure3_workload):
+    trace = tmp_path / "trace.jsonl"
+    recorder = build_backend(
+        BackendSpec(name="record", trace_path=str(trace)), toy_workload
+    )
+    recorder.empty_workload_cost()
+    recorder.save_trace()
+    with pytest.raises(TraceError, match="workload"):
+        build_backend(
+            BackendSpec(name="replay", trace_path=str(trace)), figure3_workload
+        )
+
+
+def test_replay_misses_raise_with_the_pair(tmp_path, toy_workload, toy_candidates):
+    trace = tmp_path / "trace.jsonl"
+    recorder = build_backend(
+        BackendSpec(name="record", trace_path=str(trace)), toy_workload
+    )
+    recorder.empty_workload_cost()
+    recorder.save_trace()
+
+    replayer = build_backend(
+        BackendSpec(name="replay", trace_path=str(trace)), toy_workload
+    )
+    query = toy_workload.queries[0]
+    with pytest.raises(TraceMissError) as excinfo:
+        for config in (frozenset([ix]) for ix in toy_candidates):
+            replayer.whatif_cost(query, config)
+    assert excinfo.value.qid == query.qid
+    assert excinfo.value.key
+
+
+def test_trace_file_layout(tmp_path, toy_workload, counting_pairs):
+    trace = tmp_path / "trace.jsonl"
+    recorder = build_backend(
+        BackendSpec(name="record", trace_path=str(trace)), toy_workload
+    )
+    for query, config in counting_pairs[:3]:
+        recorder.whatif_cost(query, config)
+    written = recorder.save_trace()
+    assert written == recorder.recorded_pairs
+
+    lines = [json.loads(line) for line in trace.read_text().splitlines()]
+    assert lines[0]["type"] == "header"
+    assert lines[0]["workload"] == toy_workload.name
+    assert all(line["type"] == "cost" for line in lines[1:])
+    header, costs = read_trace(trace)
+    assert isinstance(header, TraceHeader)
+    assert len(costs) == written
+
+
+def test_record_requires_a_trace_path():
+    with pytest.raises(TuningError, match="trace path"):
+        BackendSpec(name="record")
+    with pytest.raises(TuningError, match="trace path"):
+        BackendSpec(name="replay")

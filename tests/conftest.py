@@ -80,6 +80,6 @@ def small_constraints():
 
 @pytest.fixture(scope="session")
 def tpch():
-    from repro.workloads.tpch import tpch_workload
+    from repro.workload.suites.tpch import tpch_workload
 
     return tpch_workload()

@@ -90,6 +90,7 @@ class TestJSONExport:
             "normalized_hits",
             "cost_seconds",
             "budget_policy",
+            "backend",
             "event_counts",
             "stop_reasons",
             "seeds",

@@ -15,7 +15,7 @@ class TestLatencyModel:
     def test_tpcds_like_call_latency_about_a_second(self):
         """The paper: 'each what-if call on most TPC-DS queries takes around
         1 second'."""
-        from repro.workloads import get_workload
+        from repro.workload.suites import get_workload
 
         model = WhatIfTimeModel(get_workload("tpcds"))
         assert 0.5 <= model.mean_call_seconds <= 2.0

@@ -21,7 +21,7 @@ from pathlib import Path
 from repro.catalog import ColumnType, SchemaBuilder
 from repro.tuners import DTATuner, MCTSTuner, VanillaGreedyTuner
 from repro.workload import SynthesisProfile, WorkloadSynthesizer
-from repro.workloads.tpch import tpch_workload
+from repro.workload.suites.tpch import tpch_workload
 
 
 def build_toy_workload():

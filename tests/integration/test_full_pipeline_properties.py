@@ -11,7 +11,7 @@ from repro.config import TuningConstraints
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.tuners import MCTSTuner, TwoPhaseGreedyTuner
 from repro.workload import CandidateGenerator
-from repro.workloads import available_workloads, get_workload
+from repro.workload.suites import available_workloads, get_workload
 
 _SCALES = {"real_d": 0.05, "real_m": 0.05}
 

@@ -1,0 +1,8 @@
+"""REP007 fixture: the backend package itself may touch the concrete engine."""
+
+from repro.optimizer.whatif import WhatIfOptimizer
+
+
+def backend_layer_construction(workload):
+    # Inside repro/backend/ the concrete engine is the implementation.
+    return WhatIfOptimizer(workload)

@@ -1,0 +1,21 @@
+"""REP007 fixture: direct WhatIfOptimizer use inside enumeration code."""
+
+from repro.optimizer.whatif import WhatIfOptimizer  # repro-lint-expect: REP007
+from repro.backend.factory import build_backend
+
+
+def hardwired_engine(workload):
+    return WhatIfOptimizer(workload, budget=100)  # repro-lint-expect: REP007
+
+
+def aliased_module_call(workload, whatif_module):
+    return whatif_module.WhatIfOptimizer(workload)  # repro-lint-expect: REP007
+
+
+def through_the_factory(workload):
+    # The sanctioned path: the factory honours --backend/REPRO_BACKEND.
+    return build_backend(None, workload, budget=100)
+
+
+def suppressed(workload):
+    return WhatIfOptimizer(workload)  # repro-lint: off[REP007]

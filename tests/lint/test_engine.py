@@ -46,9 +46,10 @@ class TestEngine:
         with pytest.raises(ValueError, match="REP999"):
             LintEngine(select=["REP999"])
 
-    def test_registry_has_all_six_rules(self):
+    def test_registry_has_all_rules(self):
         assert set(REGISTRY) == {
-            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006"
+            "REP001", "REP002", "REP003", "REP004",
+            "REP005", "REP006", "REP007",
         }
 
     def test_findings_sorted_by_position(self):

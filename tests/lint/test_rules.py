@@ -1,4 +1,4 @@
-"""Fixture-driven tests for REP001–REP006.
+"""Fixture-driven tests for REP001–REP007.
 
 Each fixture under ``fixtures/`` marks the lines it expects to be flagged
 with a trailing ``# repro-lint-expect: REPxxx`` comment (the marker syntax
@@ -22,7 +22,15 @@ FIXTURES = Path(__file__).parent / "fixtures"
 
 _EXPECT_RE = re.compile(r"#\s*repro-lint-expect:\s*(?P<rules>[A-Z0-9_,\s]+)")
 
-ALL_RULES = ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006")
+ALL_RULES = (
+    "REP001",
+    "REP002",
+    "REP003",
+    "REP004",
+    "REP005",
+    "REP006",
+    "REP007",
+)
 
 
 def expected_findings(source: str) -> set[tuple[int, str]]:

@@ -23,7 +23,7 @@ class FailingTuner:
     name = "failing"
 
     def tune(self, workload, *, budget=None, constraints=None,
-             candidates=None, budget_policy=None):
+             candidates=None, budget_policy=None, backend=None):
         raise RuntimeError("simulated tuner failure")
 
 
@@ -33,7 +33,7 @@ class HardCrashTuner:
     name = "hard_crash"
 
     def tune(self, workload, *, budget=None, constraints=None,
-             candidates=None, budget_policy=None):
+             candidates=None, budget_policy=None, backend=None):
         os._exit(17)
 
 

@@ -6,9 +6,9 @@ import pytest
 
 from repro.exceptions import TuningError
 from repro.workload.analysis import bind_query
-from repro.workloads import available_workloads, get_workload
-from repro.workloads.real import enterprise_schema
-from repro.workloads.tpch import tpch_schema
+from repro.workload.suites import available_workloads, get_workload
+from repro.workload.suites.real import enterprise_schema
+from repro.workload.suites.tpch import tpch_schema
 
 
 def complexity(workload):

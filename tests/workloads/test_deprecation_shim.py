@@ -1,0 +1,56 @@
+"""The old ``repro.workloads`` namespace: deprecated but importable."""
+
+from __future__ import annotations
+
+import importlib
+import sys
+
+import pytest
+
+
+def _fresh_import_workloads():
+    """Import the shim as if for the first time in this interpreter."""
+    saved = {
+        name: sys.modules.pop(name)
+        for name in list(sys.modules)
+        if name == "repro.workloads" or name.startswith("repro.workloads.")
+    }
+    try:
+        with pytest.warns(DeprecationWarning, match="repro.workload.suites"):
+            module = importlib.import_module("repro.workloads")
+        return module
+    finally:
+        sys.modules.update(saved)
+
+
+def test_shim_warns_on_import():
+    _fresh_import_workloads()
+
+
+def test_shim_reexports_the_registry():
+    module = _fresh_import_workloads()
+    from repro.workload.suites import available_workloads, get_workload
+
+    assert module.available_workloads is available_workloads
+    assert module.get_workload is get_workload
+
+
+def test_submodules_alias_the_moved_modules():
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        import repro.workloads.tpch as old_tpch
+    import repro.workload.suites.tpch as new_tpch
+
+    assert old_tpch is new_tpch
+
+
+def test_submodules_resolve_as_package_attributes():
+    """A plain ``import repro.workloads`` exposes the old submodule names."""
+    module = _fresh_import_workloads()
+    import repro.workload.suites.tpch as new_tpch
+
+    assert module.tpch is new_tpch
+    for name in ("job", "job_templates", "real", "registry", "tpcds"):
+        assert getattr(module, name).__name__ == f"repro.workload.suites.{name}"

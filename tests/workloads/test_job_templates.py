@@ -5,8 +5,8 @@ import statistics
 import pytest
 
 from repro.workload.analysis import bind_query
-from repro.workloads.job import job_schema, job_workload
-from repro.workloads.job_templates import JOB_TEMPLATE_SQL
+from repro.workload.suites.job import job_schema, job_workload
+from repro.workload.suites.job_templates import JOB_TEMPLATE_SQL
 
 
 @pytest.fixture(scope="module")
