@@ -3,9 +3,11 @@
 Two layers guard the invariants the budget curves depend on:
 
 * the **static** layer — an AST rule engine (:mod:`repro.lint.engine`) with
-  six project-specific rules (:mod:`repro.lint.rules`, REP001–REP006), a
-  per-line suppression syntax, JSON/text reporters, and a checked-in
-  baseline of justified exceptions. Run it as ``python -m repro.lint src/``.
+  per-file project-specific rules (:mod:`repro.lint.rules`, REP001–REP007),
+  whole-program flow rules (:mod:`repro.lint.flow`, REP101–REP105) over a
+  linked project index with an incremental summary cache, a per-line
+  suppression syntax, text/JSON/SARIF reporters, and a checked-in baseline
+  of justified exceptions. Run it as ``python -m repro.lint src/ --flow``.
 * the **runtime** layer — opt-in sanitizers (:mod:`repro.lint.sanitizers`)
   activated by ``REPRO_SANITIZE=1`` that assert cost-model monotonicity
   (Assumption 1) and session event-stream discipline on live runs.
@@ -13,7 +15,14 @@ Two layers guard the invariants the budget curves depend on:
 
 from repro.lint import rules as _rules  # noqa: F401  (populates the registry)
 from repro.lint.baseline import Baseline, BaselineEntry
-from repro.lint.engine import REGISTRY, LintEngine, Rule, register
+from repro.lint.engine import (
+    FLOW_RULE_IDS,
+    REGISTRY,
+    LintEngine,
+    Rule,
+    known_rule_ids,
+    register,
+)
 from repro.lint.findings import Finding
 from repro.lint.sanitizers import (
     EventStreamValidator,
@@ -26,6 +35,7 @@ __all__ = [
     "Baseline",
     "BaselineEntry",
     "EventStreamValidator",
+    "FLOW_RULE_IDS",
     "Finding",
     "LintEngine",
     "MonotonicityChecker",
@@ -33,5 +43,6 @@ __all__ = [
     "Rule",
     "SessionSanitizers",
     "install_session_sanitizers",
+    "known_rule_ids",
     "register",
 ]

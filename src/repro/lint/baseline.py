@@ -70,7 +70,9 @@ class Baseline:
                 for entry in sorted(self.entries, key=lambda e: e.key)
             ],
         }
-        Path(path).write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+        Path(path).write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
 
     @classmethod
     def from_findings(cls, findings: list[Finding]) -> "Baseline":

@@ -18,10 +18,26 @@ from pathlib import PurePosixPath
 from typing import ClassVar, Iterable
 
 from repro.lint.findings import Finding
-from repro.lint.suppressions import is_suppressed, parse_suppressions
+from repro.lint.suppressions import ALL_RULES, is_suppressed, parse_suppressions
 
 #: Rule id reserved for files the engine cannot parse.
 SYNTAX_RULE = "REP000"
+
+#: Rule id for suppression comments that name a rule nobody registered —
+#: a typo'd rule id in a suppression must warn, not silently pass.
+UNKNOWN_SUPPRESSION_RULE = "REP008"
+
+#: The whole-program flow rules (implemented in :mod:`repro.lint.flow`);
+#: listed here so suppressions naming them are recognized as known.
+FLOW_RULE_IDS = ("REP101", "REP102", "REP103", "REP104", "REP105")
+
+
+def known_rule_ids() -> frozenset[str]:
+    """Every rule id a suppression comment may legitimately name."""
+    return frozenset(REGISTRY) | frozenset(FLOW_RULE_IDS) | {
+        SYNTAX_RULE,
+        UNKNOWN_SUPPRESSION_RULE,
+    }
 
 
 class LintContext:
@@ -101,16 +117,33 @@ class LintEngine:
 
     Args:
         select: Rule ids to run (default: every registered rule).
+        ignore: Rule ids to skip — the complement of ``select``; applied
+            after it, so ``select={A, B}, ignore={B}`` runs only A.
     """
 
-    def __init__(self, select: Iterable[str] | None = None):
+    def __init__(
+        self,
+        select: Iterable[str] | None = None,
+        ignore: Iterable[str] | None = None,
+    ):
+        selectable = set(REGISTRY) | {UNKNOWN_SUPPRESSION_RULE}
         if select is None:
-            self._rules = [REGISTRY[key] for key in sorted(REGISTRY)]
+            chosen = set(REGISTRY)
+            self._warn_unknown_suppressions = True
         else:
-            unknown = [rule for rule in select if rule not in REGISTRY]
+            unknown = [rule for rule in select if rule not in selectable]
             if unknown:
                 raise ValueError(f"unknown rule ids: {', '.join(sorted(unknown))}")
-            self._rules = [REGISTRY[key] for key in sorted(set(select))]
+            chosen = set(select) & set(REGISTRY)
+            self._warn_unknown_suppressions = UNKNOWN_SUPPRESSION_RULE in set(select)
+        if ignore is not None:
+            unknown = [rule for rule in ignore if rule not in selectable]
+            if unknown:
+                raise ValueError(f"unknown rule ids: {', '.join(sorted(unknown))}")
+            chosen -= set(ignore)
+            if UNKNOWN_SUPPRESSION_RULE in set(ignore):
+                self._warn_unknown_suppressions = False
+        self._rules = [REGISTRY[key] for key in sorted(chosen)]
 
     @property
     def rules(self) -> list[type[Rule]]:
@@ -142,7 +175,38 @@ class LintEngine:
             for finding in findings
             if not is_suppressed(ctx.suppressions, finding.line, finding.rule)
         ]
+        if self._warn_unknown_suppressions:
+            findings.extend(self._unknown_suppressions(ctx))
         findings.sort(key=lambda f: (f.line, f.col, f.rule))
+        return findings
+
+    @staticmethod
+    def _unknown_suppressions(ctx: LintContext) -> list[Finding]:
+        """REP008 warnings for suppressions naming unregistered rules."""
+        from repro.lint.suppressions import parse_raw_suppressions
+
+        known = known_rule_ids()
+        findings: list[Finding] = []
+        raw_table = parse_raw_suppressions(ctx.source)
+        for line in sorted(raw_table):
+            if is_suppressed(
+                ctx.suppressions, line, UNKNOWN_SUPPRESSION_RULE
+            ):
+                continue  # the warning itself is suppressible
+            for rule in sorted(raw_table[line] - known - {ALL_RULES}):
+                findings.append(
+                    Finding(
+                        rule=UNKNOWN_SUPPRESSION_RULE,
+                        path=ctx.path,
+                        line=line,
+                        col=0,
+                        message=(
+                            f"unknown-suppression: `# repro-lint: off[{rule}]` "
+                            "names a rule that does not exist; the suppression "
+                            "has no effect (typo?)"
+                        ),
+                    )
+                )
         return findings
 
     def check_file(self, path) -> list[Finding]:
@@ -153,9 +217,14 @@ class LintEngine:
         source = file_path.read_text(encoding="utf-8")
         return self.check_source(source, file_path.as_posix())
 
-    def check_paths(self, paths: Iterable) -> list[Finding]:
+    def check_paths(self, paths: Iterable, jobs: int = 1) -> list[Finding]:
         """Lint files and directory trees; directories are walked for
-        ``*.py`` in sorted order so output (and baselines) are stable."""
+        ``*.py`` in sorted order so output (and baselines) are stable.
+
+        ``jobs > 1`` fans the per-file work out to a process pool
+        (:func:`repro.parallel.pool.parallel_map`); results keep input
+        order, so parallel output is byte-identical to serial.
+        """
         from pathlib import Path
 
         files: list[Path] = []
@@ -165,7 +234,21 @@ class LintEngine:
                 files.extend(sorted(path.rglob("*.py")))
             else:
                 files.append(path)
+        if jobs > 1 and len(files) > 1:
+            from repro.parallel.pool import parallel_map
+
+            per_file = parallel_map(
+                _check_file_task, [(self, file_path) for file_path in files], jobs
+            )
+        else:
+            per_file = [self.check_file(file_path) for file_path in files]
         findings: list[Finding] = []
-        for file_path in files:
-            findings.extend(self.check_file(file_path))
+        for file_findings in per_file:
+            findings.extend(file_findings)
         return findings
+
+
+def _check_file_task(item) -> list[Finding]:
+    """Picklable per-file worker for the parallel ``check_paths`` path."""
+    engine, path = item
+    return engine.check_file(path)

@@ -1,0 +1,68 @@
+"""A deterministic order-preserving process-pool map.
+
+The cell executor (:mod:`repro.parallel.executor`) fans out *tuning runs*;
+this module is the same discipline for generic side-effect-free work:
+results come back in **input order** regardless of completion order, a
+failing item aborts the map naming the item, and ``jobs=1`` runs
+in-process with no pool and no pickling — the reference serial path.
+
+Used by the lint flow analyzer to parse and summarize project files in
+parallel (``python -m repro.lint --flow --jobs N``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.exceptions import ParallelExecutionError, ReproError
+
+
+def parallel_map(fn: Callable, items: Sequence, jobs: int = 1) -> list:
+    """Apply picklable ``fn`` to every item, preserving input order.
+
+    Args:
+        fn: A module-level (picklable) callable of one argument.
+        items: The work items; order defines the result order.
+        jobs: Worker process count; ``1`` (or a single item) runs serially
+            in-process.
+
+    Raises:
+        ParallelExecutionError: ``fn`` raised on an item or a worker died;
+            the message names the failing item.
+        ReproError: ``jobs`` is not positive.
+    """
+    if jobs < 1:
+        raise ReproError(f"jobs must be at least 1, got {jobs}")
+    items = list(items)
+    if jobs == 1 or len(items) <= 1:
+        results = []
+        for item in items:
+            try:
+                results.append(fn(item))
+            except Exception as error:
+                raise ParallelExecutionError(
+                    f"parallel map failed on {item!r}: {error}"
+                ) from error
+        return results
+
+    workers = min(jobs, len(items))
+    pool = ProcessPoolExecutor(max_workers=workers)
+    results = []
+    try:
+        futures = [pool.submit(fn, item) for item in items]
+        for item, future in zip(items, futures, strict=True):
+            try:
+                results.append(future.result())
+            except BrokenProcessPool as error:
+                raise ParallelExecutionError(
+                    f"worker process died while mapping {item!r}"
+                ) from error
+            except Exception as error:
+                raise ParallelExecutionError(
+                    f"parallel map failed on {item!r}: {error}"
+                ) from error
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+    return results

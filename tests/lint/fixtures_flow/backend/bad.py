@@ -1,0 +1,6 @@
+"""A drifting backend — REP105 true positives anchor on the class line."""
+
+
+class BadBackend:  # flow-expect: REP105, REP105
+    def whatif_cost(self, query):
+        return 0.0

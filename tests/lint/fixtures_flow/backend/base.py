@@ -1,0 +1,13 @@
+"""The protocol every registered backend must satisfy (REP105 fixture)."""
+
+from typing import Protocol
+
+
+class CostBackend(Protocol):
+    """Mirror of the real protocol: two methods, fixed signatures."""
+
+    def whatif_cost(self, query, configuration):
+        ...
+
+    def true_workload_cost(self, configuration):
+        ...

@@ -1,0 +1,18 @@
+"""The registry REP105 walks; only *registered* classes are checked."""
+
+from backend.bad import BadBackend
+from backend.good import FlexBackend, GoodBackend
+
+
+class UnregisteredDraft:
+    """Diverges from the protocol but is not registered — not checked."""
+
+    def whatif_cost(self):
+        return 0.0
+
+
+BACKENDS = {
+    "good": GoodBackend,
+    "flex": FlexBackend,
+    "bad": BadBackend,
+}

@@ -1,0 +1,19 @@
+"""A conforming backend — REP105 must stay silent on it."""
+
+
+class GoodBackend:
+    def whatif_cost(self, query, configuration):
+        return 1.0
+
+    def true_workload_cost(self, configuration):
+        return 2.0
+
+
+class FlexBackend:
+    """Forwarding adapters with ``*args/**kwargs`` are exempt by design."""
+
+    def whatif_cost(self, *args, **kwargs):
+        return 1.0
+
+    def true_workload_cost(self, *args, **kwargs):
+        return 2.0

@@ -1,0 +1,11 @@
+"""Budget accounting fixture: the REP104 raise site."""
+
+
+def charge(amount):
+    if amount > 0:
+        raise BudgetExhaustedError(f"spent {amount}")
+    return amount
+
+
+def total(values):
+    return sum(values)

@@ -1,0 +1,17 @@
+"""Payload factories (REP103 fixture support)."""
+
+
+def persist(record):
+    return record
+
+
+def make_writer():
+    return open("trace.log", "w")
+
+
+def writer_by_another_name():
+    return make_writer()
+
+
+def default_writer():
+    return persist

@@ -1,0 +1,18 @@
+"""Pricing helpers outside the tuner scope (REP101 fixture support).
+
+REP001 never looks at this file (no ``tuners``/``core`` path segment), so
+only the whole-program rule can connect a tuner to ``sneaky_price``'s
+sink — that is the laundering REP101 exists to catch.
+"""
+
+
+def sneaky_price(model, query):
+    return model.cost(query)
+
+
+def safe_price(backend, query):
+    return backend.whatif_cost(query)
+
+
+def deep_price(model, query):
+    return sneaky_price(model, query)

@@ -1,0 +1,32 @@
+"""Spec construction sites: REP103 true positives and sanctioned shapes."""
+
+from helpers.io import default_writer, make_writer, persist, writer_by_another_name
+from pool.spec import BackendSpec, CellSpec
+
+
+def build_lambda_spec():
+    return CellSpec(fn=lambda value: value)  # flow-expect: REP103
+
+
+def build_handle_spec(path):
+    handle = open(path, "rb")
+    return CellSpec(payload=handle)  # flow-expect: REP103
+
+
+def build_factory_spec():
+    return CellSpec(writer=make_writer())  # flow-expect: REP103
+
+
+def build_deep_factory_spec():
+    return BackendSpec(writer=writer_by_another_name())  # flow-expect: REP103
+
+
+def build_local_spec():
+    def local_fn(value):
+        return value
+
+    return CellSpec(fn=local_fn)  # flow-expect: REP103
+
+
+def build_ok_spec():
+    return CellSpec(fn=persist, writer=default_writer())

@@ -1,0 +1,11 @@
+"""Spec types crossing the process pool (REP103 fixture support)."""
+
+
+class CellSpec:
+    def __init__(self, **payload):
+        self.payload = payload
+
+
+class BackendSpec:
+    def __init__(self, **payload):
+        self.payload = payload

@@ -1,0 +1,46 @@
+"""Session-driver fixture: REP104 true positives and sanctioned handlers."""
+
+from billing.costs import charge, total
+
+
+def swallow(units):
+    try:
+        return charge(units)
+    except Exception as error:  # flow-expect: REP104
+        print("ignored", error)
+        return -1
+
+
+def relay(units):
+    return charge(units)
+
+
+def swallow_deep(units):
+    try:
+        return relay(units)
+    except ReproError:  # flow-expect: REP104
+        audit_failure(units)
+        return -1
+
+
+def convert(units, events):
+    try:
+        return charge(units)
+    except BudgetExhaustedError:
+        events.emit("stop", reason="budget")
+        return None
+
+
+def reraise(units):
+    try:
+        return charge(units)
+    except Exception:
+        print("cleaning up")
+        raise
+
+
+def harmless(values):
+    try:
+        return total(values)
+    except Exception:
+        return 0

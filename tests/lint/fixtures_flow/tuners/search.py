@@ -1,0 +1,49 @@
+"""Search-scope fixture: REP101/REP102 true positives and clean paths."""
+
+import random
+
+from helpers.pricing import deep_price, safe_price, sneaky_price
+from helpers.rng import fresh_gen, make_global_gen, make_rng
+
+
+def enumerate_bad(model, queries):
+    best = 0.0
+    for query in queries:
+        best += sneaky_price(model, query)  # flow-expect: REP101
+    return best
+
+
+def enumerate_deep(model, queries):
+    return deep_price(model, queries[0])  # flow-expect: REP101
+
+
+def enumerate_ok(backend, queries):
+    total = 0.0
+    for query in queries:
+        total += safe_price(backend, query)
+    return total
+
+
+def unstable_order(items):
+    gen = make_global_gen()  # flow-expect: REP102
+    return sorted(items, key=lambda _: gen.random())
+
+
+def unstable_deep(items):
+    gen = fresh_gen()  # flow-expect: REP102
+    return sorted(items, key=lambda _: gen.random())
+
+
+def unstable_direct(items):
+    gen = random.Random()  # flow-expect: REP102
+    return sorted(items, key=lambda _: gen.random())
+
+
+def stable_order(items, seed):
+    gen = make_rng(seed)
+    return sorted(items, key=lambda _: gen.random())
+
+
+def tolerated_order(items):
+    gen = random.Random()  # repro-lint: off[REP102]
+    return sorted(items, key=lambda _: gen.random())

@@ -166,3 +166,193 @@ class TestCli:
         out = capsys.readouterr().out
         for rule_id in ("REP001", "REP006"):
             assert rule_id in out
+
+
+class TestSuppressionEdgeCases:
+    """Multi-rule comments, continuation lines, unknown-rule warnings."""
+
+    def test_multiple_rules_one_comment_suppresses_both(self):
+        source = (
+            "def f(m, q, c, xs=[]):  # repro-lint: off[REP006, REP001]\n"
+            "    return m.true_cost(q, c)  # repro-lint: off[REP001]\n"
+        )
+        assert LintEngine().check_source(source, "tuners/m.py") == []
+
+    def test_continuation_line_suppression_covers_the_statement(self):
+        source = (
+            "def f(m, q, c):\n"
+            "    return m.true_cost(\n"
+            "        q, c,\n"
+            "    )  # repro-lint: off[REP001]\n"
+        )
+        assert LintEngine().check_source(source, "tuners/m.py") == []
+
+    def test_continuation_suppression_does_not_leak_past_statement(self):
+        source = (
+            "def f(m, q, c):\n"
+            "    first = m.true_cost(\n"
+            "        q, c,\n"
+            "    )  # repro-lint: off[REP001]\n"
+            "    return m.true_cost(q, c)\n"
+        )
+        findings = LintEngine().check_source(source, "tuners/m.py")
+        assert [f.rule for f in findings] == ["REP001"]
+        assert findings[0].line == 5
+
+    def test_unknown_rule_suppression_warns(self):
+        source = "x = 1  # repro-lint: off[REP04]\n"
+        findings = LintEngine().check_source(source, "mod.py")
+        assert [f.rule for f in findings] == ["REP008"]
+        assert "REP04" in findings[0].message
+        assert findings[0].line == 1
+
+    def test_known_flow_rule_suppression_does_not_warn(self):
+        source = "x = 1  # repro-lint: off[REP102]\n"
+        assert LintEngine().check_source(source, "mod.py") == []
+
+    def test_bare_off_does_not_warn(self):
+        source = "x = 1  # repro-lint: off\n"
+        assert LintEngine().check_source(source, "mod.py") == []
+
+    def test_rep008_can_be_ignored(self):
+        source = "x = 1  # repro-lint: off[REP04]\n"
+        engine = LintEngine(ignore=["REP008"])
+        assert engine.check_source(source, "mod.py") == []
+
+    def test_rep008_is_itself_suppressible(self):
+        source = "x = 1  # repro-lint: off[REP04, REP008]\n"
+        assert LintEngine().check_source(source, "mod.py") == []
+
+
+class TestIgnore:
+    _SOURCE = "def f(m, q, c, xs=[]):\n    return m.true_cost(q, c)\n"
+
+    def test_ignore_drops_a_rule(self):
+        findings = LintEngine(ignore=["REP006"]).check_source(
+            self._SOURCE, "tuners/m.py"
+        )
+        assert [f.rule for f in findings] == ["REP001"]
+
+    def test_ignore_applies_after_select(self):
+        engine = LintEngine(select=["REP001", "REP006"], ignore=["REP006"])
+        findings = engine.check_source(self._SOURCE, "tuners/m.py")
+        assert [f.rule for f in findings] == ["REP001"]
+
+    def test_unknown_ignore_rejected(self):
+        with pytest.raises(ValueError, match="REP999"):
+            LintEngine(ignore=["REP999"])
+
+
+class TestBaselineFormat:
+    def test_save_sorted_keys_and_trailing_newline(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline(
+            [BaselineEntry(path="src/m.py", rule="REP001", message="msg")]
+        ).save(path)
+        text = path.read_text(encoding="utf-8")
+        assert text.endswith("}\n")
+        entry_keys = list(json.loads(text)["entries"][0])
+        assert entry_keys == sorted(entry_keys)
+
+
+class TestCliFlowSurface:
+    def _write_dirty(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("def f(xs=[]):\n    return xs\n", encoding="utf-8")
+        return target
+
+    def _write_flow_project(self, tmp_path):
+        project = tmp_path / "proj"
+        (project / "tuners").mkdir(parents=True)
+        (project / "tuners" / "search.py").write_text(
+            "import random\n\n\n"
+            "def pick(items):\n"
+            "    gen = random.Random()\n"
+            "    return gen.random()\n",
+            encoding="utf-8",
+        )
+        return project
+
+    def test_ignore_flag(self, tmp_path, capsys):
+        target = self._write_dirty(tmp_path)
+        assert lint_main(
+            [str(target), "--no-baseline", "--ignore", "REP006"]
+        ) == 0
+
+    def test_unknown_ignore_exit_2(self, tmp_path):
+        target = self._write_dirty(tmp_path)
+        assert lint_main([str(target), "--ignore", "REP999"]) == 2
+
+    def test_jobs_flag_matches_serial(self, tmp_path, capsys):
+        target = self._write_dirty(tmp_path)
+        (tmp_path / "other.py").write_text("y = 2\n", encoding="utf-8")
+        assert lint_main([str(tmp_path), "--no-baseline"]) == 1
+        serial = capsys.readouterr().out
+        assert lint_main([str(tmp_path), "--no-baseline", "--jobs", "2"]) == 1
+        assert capsys.readouterr().out == serial
+
+    def test_invalid_jobs_exit_2(self, tmp_path):
+        target = self._write_dirty(tmp_path)
+        assert lint_main([str(target), "--jobs", "0"]) == 2
+
+    def test_flow_flag_reports_flow_findings(self, tmp_path, capsys):
+        project = self._write_flow_project(tmp_path)
+        assert lint_main([str(project), "--no-baseline", "--flow"]) == 1
+        assert "REP102" in capsys.readouterr().out
+
+    def test_selecting_flow_rule_implies_flow(self, tmp_path, capsys):
+        project = self._write_flow_project(tmp_path)
+        assert lint_main(
+            [str(project), "--no-baseline", "--select", "REP102"]
+        ) == 1
+        assert "REP102" in capsys.readouterr().out
+
+    def test_ignoring_every_flow_rule_skips_flow(self, tmp_path, capsys):
+        project = self._write_flow_project(tmp_path)
+        ignore = "REP101,REP102,REP103,REP104,REP105"
+        assert lint_main(
+            [str(project), "--no-baseline", "--flow", "--ignore", ignore]
+        ) == 0
+
+    def test_sarif_format(self, tmp_path, capsys):
+        target = self._write_dirty(tmp_path)
+        assert lint_main(
+            [str(target), "--no-baseline", "--format", "sarif"]
+        ) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "REP006"
+
+    def test_flow_cache_stats(self, tmp_path, capsys):
+        project = self._write_flow_project(tmp_path)
+        cache = tmp_path / "cache.json"
+        args = [
+            str(project), "--no-baseline", "--flow",
+            "--cache", str(cache), "--stats",
+        ]
+        assert lint_main(args) == 1
+        cold = capsys.readouterr()
+        assert lint_main(args) == 1
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "1 re-indexed" in cold.err
+        assert "0 re-indexed" in warm.err
+
+    def test_list_rules_includes_flow(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "REP101" in out and "REP105" in out
+        assert "whole-program" in out
+
+    def test_exclude_drops_directory_findings(self, tmp_path, capsys):
+        nested = tmp_path / "fixtures"
+        nested.mkdir()
+        (nested / "mod.py").write_text(
+            "def f(xs=[]):\n    return xs\n", encoding="utf-8"
+        )
+        (tmp_path / "clean.py").write_text("x = 1\n", encoding="utf-8")
+        assert lint_main([str(tmp_path), "--no-baseline"]) == 1
+        capsys.readouterr()
+        assert lint_main(
+            [str(tmp_path), "--no-baseline", "--exclude", "fixtures"]
+        ) == 0

@@ -37,3 +37,19 @@ def test_baseline_has_justifications():
     for entry in data["entries"]:
         assert entry["justification"].strip()
         assert "TODO" not in entry["justification"]
+
+
+def test_src_flow_lints_clean_against_baseline():
+    result = _run_lint("src", "--flow", "--baseline", "lint-baseline.json")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 findings" in result.stdout
+
+
+def test_test_tree_lints_clean_with_scoped_rules():
+    result = _run_lint(
+        "tests", "benchmarks",
+        "--no-baseline",
+        "--select", "REP002,REP003,REP004,REP006",
+        "--exclude", "fixtures,fixtures_flow",
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

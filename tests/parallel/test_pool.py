@@ -1,0 +1,51 @@
+"""Tests for the generic order-preserving process-pool map."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.exceptions import ParallelExecutionError, ReproError
+from repro.parallel.pool import parallel_map
+
+
+def _square(value):
+    return value * value
+
+
+def _boom(value):
+    raise ValueError(f"boom {value}")
+
+
+def _pid(_):
+    return os.getpid()
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_parallel_preserves_input_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=4) == [i * i for i in items]
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ReproError):
+            parallel_map(_square, [1], jobs=0)
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ParallelExecutionError, match="boom"):
+            parallel_map(_boom, [1, 2], jobs=2)
+
+    def test_serial_exception_names_the_item(self):
+        with pytest.raises(ParallelExecutionError, match="boom 1"):
+            parallel_map(_boom, [1], jobs=1)
+
+    def test_parallel_actually_forks(self):
+        pids = set(parallel_map(_pid, list(range(8)), jobs=2))
+        # workers may be reused, but at least one must differ from the parent
+        assert pids - {os.getpid()}
