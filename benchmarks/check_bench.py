@@ -2,8 +2,10 @@
 
 Fails (exit 1) when no ``BENCH_*.json`` archives exist, or when any archive
 is empty (neither records nor series), contains NaN/Inf values, records
-without seeds, or lacks provenance (figure id / git SHA) — exactly the
-failure modes that would silently upload a useless artifact.
+without seeds, names an unregistered backend, carries ``backend: postgres``
+records without live-DBMS provenance (server/hypopg versions), or lacks
+provenance (figure id / git SHA) — exactly the failure modes that would
+silently upload a useless artifact.
 
 Usage:
     PYTHONPATH=src python benchmarks/check_bench.py [PATH ...]

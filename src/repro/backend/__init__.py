@@ -10,6 +10,7 @@ analytic   the simulated what-if optimizer (default, bit-identical baseline)
 noisy      analytic × seeded multiplicative noise (robustness studies)
 record     analytic + JSONL trace capture of every fresh cost
 replay     costs served from a trace — zero cost-model invocations
+postgres   live Postgres planner over HypoPG hypothetical indexes
 ========== ==================================================================
 
 Resolve backends through :func:`build_backend` (or carry a picklable
@@ -28,6 +29,7 @@ from repro.backend.factory import (
     resolve_spec,
 )
 from repro.backend.noisy import NoisyBackend
+from repro.backend.postgres import PostgresBackend
 from repro.backend.record import RecordingBackend
 from repro.backend.replay import ReplayBackend
 from repro.backend.trace import TraceHeader, canonical_key, read_trace, write_trace
@@ -39,6 +41,7 @@ __all__ = [
     "BackendSpec",
     "CostBackend",
     "NoisyBackend",
+    "PostgresBackend",
     "RecordingBackend",
     "ReplayBackend",
     "TraceHeader",

@@ -1,0 +1,58 @@
+"""Live-DBMS support layer for the cost backends.
+
+Everything here is deliberately driver-shaped rather than driver-bound:
+the modules speak to any object exposing the DB-API ``cursor()`` /
+``execute()`` / ``fetchone()`` surface, so the entire layer unit-tests
+against fakes with canned planner output and only
+:func:`~repro.backend.dbms.connection.require_psycopg` ever imports the
+optional ``psycopg`` driver.
+
+Modules:
+
+* :mod:`~repro.backend.dbms.connection` — optional-dependency gate,
+  retry-with-backoff, and a small lazy connection pool.
+* :mod:`~repro.backend.dbms.explain` — ``EXPLAIN (FORMAT JSON)`` parsing
+  (root total cost and a renderable plan tree).
+* :mod:`~repro.backend.dbms.hypo` — HypoPG hypothetical-index DDL and the
+  per-connection diff/sync state machine.
+* :mod:`~repro.backend.dbms.loader` — materialise repro schemas and
+  deterministic synthetic data into live Postgres tables.
+"""
+
+from repro.backend.dbms.connection import (
+    ConnectionPool,
+    psycopg_available,
+    require_psycopg,
+    transient_errors,
+    with_retry,
+)
+from repro.backend.dbms.explain import PlanNode, PostgresPlan, parse_plan, plan_total_cost
+from repro.backend.dbms.hypo import HypoIndexState, hypo_index_ddl
+from repro.backend.dbms.loader import (
+    create_table_sql,
+    ensure_hypopg,
+    load_schema,
+    materialize_workload,
+    row_values,
+    scaled_rows,
+)
+
+__all__ = [
+    "ConnectionPool",
+    "HypoIndexState",
+    "PlanNode",
+    "PostgresPlan",
+    "create_table_sql",
+    "ensure_hypopg",
+    "hypo_index_ddl",
+    "load_schema",
+    "materialize_workload",
+    "parse_plan",
+    "plan_total_cost",
+    "psycopg_available",
+    "require_psycopg",
+    "row_values",
+    "scaled_rows",
+    "transient_errors",
+    "with_retry",
+]

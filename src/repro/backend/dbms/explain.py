@@ -1,0 +1,153 @@
+"""``EXPLAIN (FORMAT JSON)`` parsing: total cost and a renderable plan tree.
+
+Postgres returns EXPLAIN JSON as a one-element array whose element holds
+the root ``"Plan"`` object; drivers surface it either as parsed JSON or as
+text depending on the column type they see, so every entry point here
+accepts a string, the array, or the element. All malformed shapes raise
+:class:`~repro.exceptions.OptimizerError` with the offending fragment
+named — a planner-output drift should fail loudly, not price a query at
+``KeyError``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.exceptions import OptimizerError
+
+
+def _plan_object(payload) -> dict:
+    """Normalise any EXPLAIN JSON shape into the root ``Plan`` dict."""
+    data = payload
+    if isinstance(data, str):
+        try:
+            data = json.loads(data)
+        except json.JSONDecodeError as exc:
+            raise OptimizerError(f"malformed EXPLAIN JSON: {exc}") from exc
+    if isinstance(data, (list, tuple)):
+        if not data:
+            raise OptimizerError("EXPLAIN JSON output is empty")
+        data = data[0]
+    if not isinstance(data, dict):
+        raise OptimizerError(
+            f"unexpected EXPLAIN JSON payload of type {type(data).__name__}"
+        )
+    plan = data.get("Plan", data if "Node Type" in data else None)
+    if not isinstance(plan, dict):
+        raise OptimizerError("EXPLAIN JSON output carries no 'Plan' object")
+    return plan
+
+
+def plan_total_cost(payload) -> float:
+    """Extract the root plan's ``Total Cost`` from EXPLAIN JSON output.
+
+    This is the number the what-if backend treats as ``c(q, C)`` — the
+    optimizer's estimated cost of the cheapest plan under the hypothetical
+    configuration, exactly the quantity the paper's budget meters.
+
+    Raises:
+        OptimizerError: On malformed JSON, a missing plan, or a
+            non-numeric cost.
+    """
+    plan = _plan_object(payload)
+    cost = plan.get("Total Cost")
+    if isinstance(cost, bool) or not isinstance(cost, (int, float)):
+        raise OptimizerError(
+            f"EXPLAIN plan has no numeric 'Total Cost' (got {cost!r})"
+        )
+    return float(cost)
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """One operator of a parsed Postgres plan.
+
+    Attributes:
+        node_type: Postgres operator name (``"Seq Scan"``, ``"Index
+            Scan"``, ...).
+        total_cost: Estimated total cost of the subtree.
+        rows: Estimated output cardinality.
+        relation: Scanned relation, when the operator has one.
+        index: Index used by the operator, when any — hypothetical
+            indexes show up here under their HypoPG-generated names,
+            which is how a live what-if plan reveals the indexes it used.
+        children: Sub-plans in planner order.
+    """
+
+    node_type: str
+    total_cost: float
+    rows: float
+    relation: str = ""
+    index: str = ""
+    children: tuple["PlanNode", ...] = ()
+
+    def lines(self, depth: int = 0) -> list[str]:
+        detail = []
+        if self.relation:
+            detail.append(f"on {self.relation}")
+        if self.index:
+            detail.append(f"using {self.index}")
+        suffix = f" {' '.join(detail)}" if detail else ""
+        head = (
+            f"{'  ' * depth}{self.node_type}{suffix}  "
+            f"(cost={self.total_cost:.2f} rows={self.rows:.0f})"
+        )
+        out = [head]
+        for child in self.children:
+            out.extend(child.lines(depth + 1))
+        return out
+
+
+def _parse_node(raw: dict) -> PlanNode:
+    node_type = raw.get("Node Type")
+    if not isinstance(node_type, str):
+        raise OptimizerError("EXPLAIN plan node has no 'Node Type'")
+    children = raw.get("Plans", ())
+    if not isinstance(children, (list, tuple)):
+        raise OptimizerError("EXPLAIN plan 'Plans' is not a list")
+    return PlanNode(
+        node_type=node_type,
+        total_cost=float(raw.get("Total Cost", 0.0)),
+        rows=float(raw.get("Plan Rows", 0.0)),
+        relation=str(raw.get("Relation Name", "") or ""),
+        index=str(raw.get("Index Name", "") or ""),
+        children=tuple(_parse_node(child) for child in children),
+    )
+
+
+@dataclass(frozen=True)
+class PostgresPlan:
+    """A parsed what-if plan, renderable for ``repro explain``-style reports."""
+
+    root: PlanNode
+
+    @property
+    def total_cost(self) -> float:
+        return self.root.total_cost
+
+    def indexes_used(self) -> tuple[str, ...]:
+        """Names of every index appearing in the plan (document order)."""
+        out: list[str] = []
+
+        def walk(node: PlanNode) -> None:
+            if node.index:
+                out.append(node.index)
+            for child in node.children:
+                walk(child)
+
+        walk(self.root)
+        return tuple(out)
+
+    def render(self) -> str:
+        """Indented one-operator-per-line rendering of the plan tree."""
+        return "\n".join(self.root.lines())
+
+
+def parse_plan(payload) -> PostgresPlan:
+    """Parse EXPLAIN JSON output into a :class:`PostgresPlan`.
+
+    Raises:
+        OptimizerError: On any malformed planner output.
+    """
+    return PostgresPlan(root=_parse_node(_plan_object(payload)))

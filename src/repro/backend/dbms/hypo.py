@@ -1,0 +1,93 @@
+"""HypoPG hypothetical-index DDL and per-connection sync state.
+
+HypoPG hypothetical indexes are *session*-scoped: each backend connection
+carries its own set, visible only to that connection's planner. The
+backend therefore keeps one :class:`HypoIndexState` per pooled connection
+and *diffs* the live set against each requested configuration instead of
+resetting and recreating — consecutive what-if calls in an enumeration
+step share most of their configuration (greedy grows it one index at a
+time), so the common transition is one ``hypopg_create_index`` rather
+than ``|C|`` of them.
+
+Keys arriving here are already normalized to the query's relevant subset
+(PR-1 normalization happens above the cost seam), so the diff never
+churns on indexes the query cannot use.
+"""
+
+from __future__ import annotations
+
+from repro.catalog import Index
+from repro.catalog.index import index_sort_key
+from repro.exceptions import OptimizerError
+
+
+def hypo_index_ddl(index: Index) -> str:
+    """The ``CREATE INDEX`` statement HypoPG hypothesises for ``index``.
+
+    The index is anonymous — HypoPG assigns its own ``<oid>btree_...``
+    name — and covering (``INCLUDE``) columns map directly onto the
+    Postgres covering-index clause.
+    """
+    keys = ", ".join(index.key_columns)
+    ddl = f"CREATE INDEX ON {index.table} ({keys})"
+    if index.include_columns:
+        ddl += " INCLUDE (" + ", ".join(index.include_columns) + ")"
+    return ddl
+
+
+class HypoIndexState:
+    """The hypothetical indexes currently live on one connection.
+
+    Tracks ``index -> hypopg oid`` so configurations can be installed by
+    diffing: drop what the target lacks, create what it adds, in the
+    canonical index order (deterministic planner input regardless of set
+    iteration order).
+    """
+
+    def __init__(self) -> None:
+        self._live: dict[Index, int] = {}
+
+    @property
+    def live(self) -> frozenset[Index]:
+        """The configuration this connection's planner currently sees."""
+        return frozenset(self._live)
+
+    def sync(self, conn, key: frozenset[Index]) -> tuple[int, int]:
+        """Make the connection's hypothetical set equal ``key``.
+
+        Returns:
+            ``(created, dropped)`` statement counts (observability for the
+            round-trip accounting tests).
+
+        Raises:
+            OptimizerError: When ``hypopg_create_index`` returns no oid —
+                the extension is missing or rejected the DDL.
+        """
+        target = set(key)
+        stale = sorted((ix for ix in self._live if ix not in target), key=index_sort_key)
+        fresh = sorted((ix for ix in target if ix not in self._live), key=index_sort_key)
+        if not stale and not fresh:
+            return (0, 0)
+        with conn.cursor() as cur:
+            for index in stale:
+                cur.execute("SELECT hypopg_drop_index(%s)", (self._live.pop(index),))
+            for index in fresh:
+                cur.execute(
+                    "SELECT indexrelid FROM hypopg_create_index(%s)",
+                    (hypo_index_ddl(index),),
+                )
+                row = cur.fetchone()
+                if row is None or row[0] is None:
+                    raise OptimizerError(
+                        "hypopg_create_index returned no oid for "
+                        f"{index.display()!r}; is the hypopg extension "
+                        "installed? (CREATE EXTENSION hypopg)"
+                    )
+                self._live[index] = int(row[0])
+        return (len(fresh), len(stale))
+
+    def reset(self, conn) -> None:
+        """Drop every hypothetical index on the connection (``hypopg_reset``)."""
+        with conn.cursor() as cur:
+            cur.execute("SELECT hypopg_reset()")
+        self._live.clear()

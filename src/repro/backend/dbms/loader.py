@@ -1,0 +1,165 @@
+"""Materialise repro schemas and synthetic data into live Postgres tables.
+
+The synthesizer emits Postgres-executable SQL whose literals are drawn
+from each column's statistics (string equality literals are ``'v{k}'``
+with ``k < distinct_count``; numeric literals interpolate the
+``[min_value, max_value]`` domain; DATE predicates use integer day
+offsets). The loader generates rows from the *same* statistics — column
+``c`` of row ``i`` is a pure function of ``(c.stats, i)`` — so loading is
+deterministic (bit-identical tables for a given scale) and every
+generated predicate is selective against real data rather than matching
+nothing.
+
+Keys and constraints are deliberately omitted: the backend's indexes are
+HypoPG hypotheticals, and scaled-down row counts would not satisfy
+referential integrity anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.catalog import Column, ColumnType, Schema, Table
+from repro.workload.query import Workload
+
+#: Default per-table row cap; CI smoke loads stay fast at any scale.
+DEFAULT_MAX_ROWS = 100_000
+
+#: Rows per INSERT batch.
+BATCH_ROWS = 5_000
+
+#: repro logical types -> Postgres column types. DATE maps to ``integer``
+#: because the synthesizer renders date literals as integer day offsets.
+_TYPE_MAP: dict[ColumnType, str] = {
+    ColumnType.INTEGER: "integer",
+    ColumnType.BIGINT: "bigint",
+    ColumnType.DECIMAL: "double precision",
+    ColumnType.FLOAT: "double precision",
+    ColumnType.VARCHAR: "text",
+    ColumnType.CHAR: "text",
+    ColumnType.DATE: "integer",
+    ColumnType.BOOLEAN: "boolean",
+}
+
+_INTEGRAL = (ColumnType.INTEGER, ColumnType.BIGINT, ColumnType.DATE)
+_TEXTUAL = (ColumnType.VARCHAR, ColumnType.CHAR)
+
+
+def column_sql_type(column: Column) -> str:
+    """The Postgres type a repro column materialises as."""
+    return _TYPE_MAP[column.ctype]
+
+
+def create_table_sql(table: Table) -> list[str]:
+    """DDL statements (drop + create) materialising ``table``."""
+    columns = ", ".join(
+        f"{column.name} {column_sql_type(column)}" for column in table.columns
+    )
+    return [
+        f"DROP TABLE IF EXISTS {table.name} CASCADE",
+        f"CREATE TABLE {table.name} ({columns})",
+    ]
+
+
+def _column_value(column: Column, i: int):
+    """Deterministic value of ``column`` in row ``i``.
+
+    Values cycle through ``distinct_count`` points spread across the
+    column's statistics domain, matching the literal domains the
+    synthesizer draws predicates from.
+    """
+    stats = column.stats
+    d = max(1, stats.distinct_count)
+    k = i % d
+    if column.ctype in _TEXTUAL:
+        return f"v{k}"
+    if column.ctype is ColumnType.BOOLEAN:
+        return i % 2 == 0
+    span = stats.domain_span
+    value = stats.min_value + (k * span / d if span > 0 else float(k))
+    if column.ctype in _INTEGRAL:
+        return int(value)
+    return float(value)
+
+
+def row_values(table: Table, i: int) -> tuple:
+    """Row ``i`` of ``table`` — a pure function of the schema statistics."""
+    return tuple(_column_value(column, i) for column in table.columns)
+
+
+def scaled_rows(table: Table, scale: float = 1.0, max_rows: int = DEFAULT_MAX_ROWS) -> int:
+    """How many rows to materialise for ``table`` at ``scale``.
+
+    Proportional to the catalog cardinality (so the planner's relative
+    table sizes match the analytic model's) but clamped to ``max_rows``
+    and floored at 1.
+    """
+    return min(max_rows, max(1, int(table.row_count * scale)))
+
+
+def ensure_hypopg(conn) -> None:
+    """Install the hypopg extension if the server does not have it yet."""
+    with conn.cursor() as cur:
+        cur.execute("CREATE EXTENSION IF NOT EXISTS hypopg")
+
+
+def load_table(
+    conn, table: Table, *, scale: float = 1.0, max_rows: int = DEFAULT_MAX_ROWS
+) -> int:
+    """(Re)create and populate one table; returns the rows inserted."""
+    rows = scaled_rows(table, scale, max_rows)
+    placeholders = "(" + ", ".join(["%s"] * len(table.columns)) + ")"
+    insert = f"INSERT INTO {table.name} VALUES {placeholders}"
+    with conn.cursor() as cur:
+        for statement in create_table_sql(table):
+            cur.execute(statement)
+        for start in range(0, rows, BATCH_ROWS):
+            batch = [
+                row_values(table, i) for i in range(start, min(start + BATCH_ROWS, rows))
+            ]
+            cur.executemany(insert, batch)
+        cur.execute(f"ANALYZE {table.name}")
+    return rows
+
+
+def load_schema(
+    conn, schema: Schema, *, scale: float = 1.0, max_rows: int = DEFAULT_MAX_ROWS
+) -> dict[str, int]:
+    """Materialise every table of ``schema``; returns per-table row counts."""
+    return {
+        table.name: load_table(conn, table, scale=scale, max_rows=max_rows)
+        for table in schema.tables
+    }
+
+
+def materialize_workload(
+    dsn: str,
+    workload: Workload,
+    *,
+    scale: float = 1.0,
+    max_rows: int = DEFAULT_MAX_ROWS,
+    schema: str | None = None,
+    connect: Callable[[str], object] | None = None,
+) -> dict[str, int]:
+    """Load ``workload``'s schema (tables + data + hypopg) into ``dsn``.
+
+    One-shot convenience for the CLI ``load`` command and the CI smoke
+    job: opens a single connection, installs hypopg, creates the schema's
+    tables inside the optional ``schema`` namespace, and loads
+    deterministic data at ``scale``.
+
+    Returns:
+        Per-table inserted row counts.
+    """
+    from repro.backend.dbms.connection import ConnectionPool
+
+    pool = ConnectionPool(dsn, schema=schema, connect=connect)
+    try:
+        with pool.session() as conn:
+            if schema:
+                with conn.cursor() as cur:
+                    cur.execute(f'CREATE SCHEMA IF NOT EXISTS "{schema}"')
+            ensure_hypopg(conn)
+            return load_schema(conn, workload.schema, scale=scale, max_rows=max_rows)
+    finally:
+        pool.close_all()

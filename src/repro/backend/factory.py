@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 
 from repro.backend.analytic import AnalyticBackend
 from repro.backend.noisy import NoisyBackend
+from repro.backend.postgres import PostgresBackend
 from repro.backend.record import RecordingBackend
 from repro.backend.replay import ReplayBackend
 from repro.config import _BACKEND_NAMES, ReproConfig
@@ -35,6 +36,7 @@ BACKENDS: dict[str, type[AnalyticBackend]] = {
     NoisyBackend.name: NoisyBackend,
     RecordingBackend.name: RecordingBackend,
     ReplayBackend.name: ReplayBackend,
+    PostgresBackend.name: PostgresBackend,
 }
 
 #: Backend names accepted by ``--backend`` and ``REPRO_BACKEND``.
@@ -56,15 +58,23 @@ class BackendSpec:
     Attributes:
         name: Registered backend name (see :data:`BACKEND_NAMES`).
         trace_path: Trace file for the record/replay backends (required by
-            both, ignored by the others).
+            both; optional recording destination for the postgres backend;
+            ignored by the others).
         noise: Noise level σ for the noisy backend.
         noise_seed: Perturbation-stream seed for the noisy backend.
+        pg_dsn: Connection string for the postgres backend. ``None`` defers
+            to ``REPRO_PG_DSN`` at build time, so a spec pickled on the
+            driver can resolve the DSN in the worker's environment.
+        pg_schema: Optional schema (``search_path``) for the postgres
+            backend's tables.
     """
 
     name: str = "analytic"
     trace_path: str | None = None
     noise: float = 0.1
     noise_seed: int = 0
+    pg_dsn: str | None = None
+    pg_schema: str | None = None
 
     def __post_init__(self) -> None:
         if self.name not in BACKENDS:
@@ -87,6 +97,8 @@ class BackendSpec:
             trace_path=config.backend_trace,
             noise=config.noise,
             noise_seed=config.noise_seed,
+            pg_dsn=config.pg_dsn,
+            pg_schema=config.pg_schema,
         )
 
 
@@ -109,6 +121,8 @@ def resolve_spec(
         trace_path=base.backend_trace,
         noise=base.noise,
         noise_seed=base.noise_seed,
+        pg_dsn=base.pg_dsn,
+        pg_schema=base.pg_schema,
     )
 
 
@@ -123,13 +137,16 @@ def build_backend(
     cost_model: "CostModel | None" = None,
     normalize_cache: bool | None = None,
     pool_size: int | None = None,
+    **backend_kwargs,
 ) -> "CostBackend":
     """Build the cost backend selected by ``spec`` for ``workload``.
 
     The keyword surface mirrors the
     :class:`~repro.optimizer.whatif.WhatIfOptimizer` constructor (budget
     *or* policy, engine knobs, event stream); backend-specific parameters
-    (trace path, noise) come from the spec.
+    (trace path, noise) come from the spec. Extra keyword arguments are
+    forwarded to the backend constructor verbatim — this is how tests
+    inject a fake ``connector`` into the postgres backend.
     """
     resolved = resolve_spec(spec, config)
     kwargs: dict = dict(
@@ -146,4 +163,9 @@ def build_backend(
     elif resolved.name == "noisy":
         kwargs["noise"] = resolved.noise
         kwargs["noise_seed"] = resolved.noise_seed
+    elif resolved.name == "postgres":
+        kwargs["pg_dsn"] = resolved.pg_dsn
+        kwargs["pg_schema"] = resolved.pg_schema
+        kwargs["trace_path"] = resolved.trace_path
+    kwargs.update(backend_kwargs)
     return BACKENDS[resolved.name](workload, **kwargs)

@@ -6,6 +6,7 @@ Commands:
     eval                    run a registered paper experiment (figures/tables)
     explain                 show a query's hypothetical plan under a config
     compress                compress a workload and show the representatives
+    load                    materialise a workload into a live Postgres
 
 Examples:
     python -m repro workloads
@@ -16,6 +17,9 @@ Examples:
         --backend-trace trace.jsonl
     python -m repro tune --workload tpch --budget 300 --backend replay \\
         --backend-trace trace.jsonl
+    python -m repro load --workload toy --pg-dsn postgresql://localhost/repro
+    python -m repro tune --workload toy --budget 60 --backend postgres \\
+        --pg-dsn postgresql://localhost/repro
     python -m repro eval --figure fig17 --jobs 4 --json reports/BENCH_fig17.json
     python -m repro eval --figure robustness --json -
     python -m repro explain --workload tpch --query q3 --budget 100
@@ -116,6 +120,12 @@ def _build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--noise-seed", type=int, default=None,
                       help="perturbation seed for --backend noisy "
                            "(default: REPRO_NOISE_SEED or 0)")
+    tune.add_argument("--pg-dsn", default=None, metavar="DSN",
+                      help="connection string for --backend postgres "
+                           "(default: REPRO_PG_DSN)")
+    tune.add_argument("--pg-schema", default=None, metavar="SCHEMA",
+                      help="schema holding the tables for --backend postgres "
+                           "(default: REPRO_PG_SCHEMA or search_path)")
     tune.add_argument("--trace", default=None, metavar="PATH",
                       help="write the session event stream as JSON lines to "
                            "PATH ('-' for stdout)")
@@ -141,7 +151,8 @@ def _build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--jobs", type=int, default=None,
                     help="worker processes for the grid (default: REPRO_JOBS "
                          "or 1); bit-identical to a serial run")
-    ev.add_argument("--backend", default=None, choices=("analytic", "noisy"),
+    ev.add_argument("--backend", default=None,
+                    choices=("analytic", "noisy", "postgres"),
                     help="cost backend for the grid cells (default: "
                          "REPRO_BACKEND or analytic; record/replay are "
                          "single-session and not valid in grids)")
@@ -151,6 +162,9 @@ def _build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--noise-seed", type=int, default=None,
                     help="perturbation seed for --backend noisy "
                          "(default: REPRO_NOISE_SEED or 0)")
+    ev.add_argument("--pg-dsn", default=None, metavar="DSN",
+                    help="connection string for --backend postgres "
+                         "(default: REPRO_PG_DSN)")
     ev.add_argument("--json", default=None, metavar="PATH",
                     help="write the machine-readable BENCH payload to PATH "
                          "('-' for stdout)")
@@ -169,6 +183,22 @@ def _build_parser() -> argparse.ArgumentParser:
     compress.add_argument("--scale", type=float, default=0.1)
     compress.add_argument("--target", type=int, required=True,
                           help="number of representative queries to keep")
+
+    load = sub.add_parser(
+        "load", help="materialise a workload into a live Postgres (for "
+                     "--backend postgres)"
+    )
+    load.add_argument("--workload", required=True, choices=available_workloads())
+    load.add_argument("--scale", type=float, default=0.1,
+                      help="row-count scale applied to the catalog "
+                           "cardinalities (default 0.1)")
+    load.add_argument("--max-rows", type=int, default=100_000,
+                      help="per-table row cap (default 100000)")
+    load.add_argument("--pg-dsn", default=None, metavar="DSN",
+                      help="connection string (default: REPRO_PG_DSN)")
+    load.add_argument("--pg-schema", default=None, metavar="SCHEMA",
+                      help="schema to create the tables in "
+                           "(default: REPRO_PG_SCHEMA or search_path)")
     return parser
 
 
@@ -205,7 +235,14 @@ def _backend_spec(args: argparse.Namespace) -> BackendSpec | None:
     resolution (:func:`repro.backend.factory.resolve_spec`) falls back to
     ``REPRO_BACKEND`` and friends exactly as library callers do.
     """
-    flags = (args.backend, args.backend_trace, args.noise, args.noise_seed)
+    flags = (
+        args.backend,
+        args.backend_trace,
+        args.noise,
+        args.noise_seed,
+        args.pg_dsn,
+        args.pg_schema,
+    )
     if all(flag is None for flag in flags):
         return None
     config = ReproConfig.from_env()
@@ -220,6 +257,8 @@ def _backend_spec(args: argparse.Namespace) -> BackendSpec | None:
         noise_seed=(
             config.noise_seed if args.noise_seed is None else args.noise_seed
         ),
+        pg_dsn=args.pg_dsn or config.pg_dsn,
+        pg_schema=args.pg_schema or config.pg_schema,
     )
 
 
@@ -347,7 +386,13 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     else:
         print("no indexes recommended")
     optimizer = result.optimizer
-    if optimizer is not None and hasattr(optimizer, "save_trace"):
+    if (
+        optimizer is not None
+        and hasattr(optimizer, "save_trace")
+        # The postgres backend only records (and can only save) when a
+        # trace destination was configured; replay has no save_trace.
+        and getattr(optimizer, "trace_path", None) is not None
+    ):
         # Save after true_improvement() above so the trace also covers the
         # ground-truth pricings a replay of this session will need.
         written = optimizer.save_trace()
@@ -378,16 +423,26 @@ def _cmd_eval(args: argparse.Namespace) -> int:
         overrides["noise"] = args.noise
     if args.noise_seed is not None:
         overrides["noise_seed"] = args.noise_seed
+    if args.pg_dsn is not None:
+        overrides["pg_dsn"] = args.pg_dsn
     if overrides:
         settings = replace(settings, **overrides)
     artifact = run_experiment(args.figure, settings)
     print(artifact.text)
     if args.json is not None:
+        provenance = None
+        if settings.backend == "postgres" and settings.pg_dsn:
+            from repro.backend.postgres import postgres_provenance
+
+            provenance = postgres_provenance(
+                settings.pg_dsn, schema=settings.pg_schema
+            )
         payload = bench_payload(
             artifact.figure,
             settings=settings,
             records=artifact.records,
             series=artifact.series,
+            postgres=provenance,
         )
         text = json.dumps(payload, indent=2)
         if args.json == "-":
@@ -417,6 +472,32 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_load(args: argparse.Namespace) -> int:
+    from repro.backend.dbms.loader import materialize_workload
+
+    config = ReproConfig.from_env()
+    dsn = args.pg_dsn or config.pg_dsn
+    if not dsn:
+        print("error: load needs --pg-dsn or REPRO_PG_DSN", file=sys.stderr)
+        return 2
+    workload = get_workload(args.workload, scale=args.scale)
+    loaded = materialize_workload(
+        dsn,
+        workload,
+        scale=args.scale,
+        max_rows=args.max_rows,
+        schema=args.pg_schema or config.pg_schema,
+    )
+    total = sum(loaded.values())
+    for table, rows in loaded.items():
+        print(f"  {table:12s} {rows:>9d} rows")
+    print(
+        f"loaded {workload.name}: {len(loaded)} tables, {total} rows "
+        f"(hypopg ready)"
+    )
+    return 0
+
+
 def _cmd_compress(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload, scale=args.scale)
     compressed = WorkloadCompressor(args.target).compress(workload)
@@ -443,6 +524,7 @@ def main(argv: list[str] | None = None) -> int:
         "eval": _cmd_eval,
         "explain": _cmd_explain,
         "compress": _cmd_compress,
+        "load": _cmd_load,
     }
     try:
         return handlers[args.command](args)

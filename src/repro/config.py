@@ -30,7 +30,7 @@ _BUDGET_POLICY_NAMES = ("fcfs", "wii", "esc", "esc+wii")
 #: :data:`repro.backend.factory.BACKEND_NAMES` (kept literal here so the
 #: config layer never imports the backend package — the backend package
 #: imports this module).
-_BACKEND_NAMES = ("analytic", "noisy", "record", "replay")
+_BACKEND_NAMES = ("analytic", "noisy", "record", "replay", "postgres")
 
 
 @dataclass(frozen=True)
@@ -88,6 +88,12 @@ class ReproConfig:
             ``z`` a seeded standard normal. ``0`` reproduces the analytic
             backend bit-for-bit.
         noise_seed: Seed of the noisy backend's perturbation stream.
+        pg_dsn: Connection string for the ``"postgres"`` backend (e.g.
+            ``postgresql://user@host/db``). Required by that backend,
+            unused by the others. **Semantic knob**: costs come from the
+            live planner, not the analytic model.
+        pg_schema: Optional schema (``search_path``) for the postgres
+            backend's tables; ``None`` uses the server default.
     """
 
     normalize_cache: bool = True
@@ -101,6 +107,8 @@ class ReproConfig:
     backend_trace: str | None = None
     noise: float = 0.1
     noise_seed: int = 0
+    pg_dsn: str | None = None
+    pg_schema: str | None = None
 
     def __post_init__(self) -> None:
         if self.whatif_pool_size < 1:
@@ -140,7 +148,8 @@ class ReproConfig:
         ``REPRO_BUDGET_POLICY``, ``REPRO_WII_RELEASE_RATE``,
         ``REPRO_ESC_PATIENCE``, ``REPRO_ESC_MIN_DELTA``,
         ``REPRO_SANITIZE``, ``REPRO_BACKEND``, ``REPRO_BACKEND_TRACE``,
-        ``REPRO_NOISE``, ``REPRO_NOISE_SEED``.
+        ``REPRO_NOISE``, ``REPRO_NOISE_SEED``, ``REPRO_PG_DSN``,
+        ``REPRO_PG_SCHEMA``.
         """
         normalize = os.environ.get("REPRO_NORMALIZE_CACHE", "1") not in (
             "0",
@@ -195,6 +204,8 @@ class ReproConfig:
             backend_trace=os.environ.get("REPRO_BACKEND_TRACE") or None,
             noise=_float_env("REPRO_NOISE", 0.1),
             noise_seed=_int_env("REPRO_NOISE_SEED", 0),
+            pg_dsn=os.environ.get("REPRO_PG_DSN") or None,
+            pg_schema=os.environ.get("REPRO_PG_SCHEMA") or None,
         )
 
 

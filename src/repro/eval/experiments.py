@@ -71,6 +71,10 @@ class ExperimentSettings:
         noise: Noise scale σ for the noisy backend (``REPRO_NOISE``).
         noise_seed: Perturbation seed for the noisy backend
             (``REPRO_NOISE_SEED``).
+        pg_dsn: Connection string for the postgres backend
+            (``REPRO_PG_DSN``).
+        pg_schema: Schema namespace for the postgres backend
+            (``REPRO_PG_SCHEMA``).
     """
 
     scale: float = 0.1
@@ -80,6 +84,8 @@ class ExperimentSettings:
     backend: str = "analytic"
     noise: float = 0.1
     noise_seed: int = 0
+    pg_dsn: str | None = None
+    pg_schema: str | None = None
 
     @classmethod
     def from_env(cls) -> "ExperimentSettings":
@@ -96,6 +102,8 @@ class ExperimentSettings:
             backend=os.environ.get("REPRO_BACKEND", "analytic"),
             noise=float(os.environ.get("REPRO_NOISE", "0.1")),
             noise_seed=int(os.environ.get("REPRO_NOISE_SEED", "0")),
+            pg_dsn=os.environ.get("REPRO_PG_DSN") or None,
+            pg_schema=os.environ.get("REPRO_PG_SCHEMA") or None,
         )
 
     def backend_spec(self) -> BackendSpec | None:
@@ -107,7 +115,11 @@ class ExperimentSettings:
         if self.backend == "analytic":
             return None
         return BackendSpec(
-            name=self.backend, noise=self.noise, noise_seed=self.noise_seed
+            name=self.backend,
+            noise=self.noise,
+            noise_seed=self.noise_seed,
+            pg_dsn=self.pg_dsn,
+            pg_schema=self.pg_schema,
         )
 
     def budgets_for(self, workload_name: str) -> list[int]:

@@ -15,6 +15,7 @@ import subprocess
 import sys
 import time
 
+from repro.backend.factory import BACKEND_NAMES
 from repro.eval.runner import RunRecord
 
 #: Version of the ``BENCH_*.json`` archive layout (bump on breaking change).
@@ -83,6 +84,7 @@ def bench_payload(
     records: list[RunRecord] | None = None,
     series: dict | None = None,
     extra: dict | None = None,
+    postgres: dict | None = None,
 ) -> dict:
     """The machine-readable ``BENCH_<figure>.json`` archive payload.
 
@@ -96,6 +98,10 @@ def bench_payload(
     - ``records`` — per-cell aggregates **plus raw per-seed metrics**
       (:func:`record_to_dict`), so means/stds are reconstructible;
     - ``series`` — non-grid data (convergence rounds, time breakdowns);
+    - ``postgres`` — live-DBMS provenance (``server_version``,
+      ``hypopg_version``); required by the validator whenever a record
+      ran on the postgres backend, since those numbers depend on the
+      server's planner version, not just the repo's git SHA;
     - anything passed via ``extra`` is merged at the top level.
     """
     if settings is None:
@@ -119,6 +125,8 @@ def bench_payload(
         "records": [record_to_dict(r) for r in records] if records else [],
         "series": series or {},
     }
+    if postgres:
+        payload["postgres"] = dict(postgres)
     if extra:
         payload.update(extra)
     return payload
@@ -145,8 +153,10 @@ def validate_bench_payload(payload: dict) -> list[str]:
 
     Flags what CI must never upload silently: a payload with neither
     records nor series, records with no seeds, NaN/Inf anywhere in the
-    numeric data, empty series lists, and missing provenance (figure id or
-    git SHA).
+    numeric data, empty series lists, missing provenance (figure id or
+    git SHA), records naming an unregistered backend, and
+    postgres-backend records without live-DBMS provenance (the planner's
+    numbers depend on the server/extension versions).
     """
     problems: list[str] = []
     if not payload.get("figure"):
@@ -157,9 +167,24 @@ def validate_bench_payload(payload: dict) -> list[str]:
     series = payload.get("series") or {}
     if not records and not series:
         problems.append("payload has neither records nor series")
+    needs_pg_provenance = False
     for i, record in enumerate(records):
         if not record.get("seeds"):
             problems.append(f"records[{i}] has no seeds")
+        backend = record.get("backend", "analytic")
+        if backend not in BACKEND_NAMES:
+            problems.append(f"records[{i}] names unknown backend {backend!r}")
+        elif backend == "postgres":
+            needs_pg_provenance = True
+    if needs_pg_provenance:
+        provenance = payload.get("postgres")
+        if not isinstance(provenance, dict) or not (
+            provenance.get("server_version") and provenance.get("hypopg_version")
+        ):
+            problems.append(
+                "postgres-backend records require payload-level 'postgres' "
+                "provenance with server_version and hypopg_version"
+            )
     for label, points in series.items() if isinstance(series, dict) else []:
         if isinstance(points, (list, tuple)) and not points:
             problems.append(f"series {label!r} is empty")

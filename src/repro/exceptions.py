@@ -115,5 +115,17 @@ class TuningError(ReproError):
     """Raised for invalid tuning requests (e.g., non-positive budget)."""
 
 
+class BackendUnavailableError(TuningError):
+    """Raised when a cost backend needs an optional dependency or service.
+
+    The ``postgres`` backend prices configurations against a live DBMS and
+    therefore needs the optional ``psycopg`` driver (the ``repro[postgres]``
+    extra) plus a reachable server. The error message always names the
+    missing piece and the install/configuration step that provides it, so a
+    bare ``pip install repro`` user gets an actionable failure instead of an
+    ``ImportError`` five frames deep.
+    """
+
+
 class ConstraintError(TuningError):
     """Raised when tuning constraints are unsatisfiable or inconsistent."""

@@ -9,8 +9,10 @@ and enforces one cross-module invariant the per-file rules cannot see:
 * REP102 — determinism-taint: no RNG state from unseeded generators flows
   into tuner/enumeration code, even when laundered through a factory;
 * REP103 — pickle-safety: nothing unpicklable (lambdas, local functions or
-  classes, open handles) reaches a ``CellSpec``/``BackendSpec``
-  construction site, even via a helper's return value;
+  classes, open file handles or database connections — including
+  instances of classes that open one in ``__init__``) reaches a
+  ``CellSpec``/``BackendSpec`` construction site, even via a helper's
+  return value;
 * REP104 — exception-flow: a handler that can intercept
   ``BudgetExhaustedError`` must re-raise or convert it to a session stop
   event;
@@ -242,10 +244,13 @@ class PickleSafetyRule(FlowRule):
     ``CellSpec``/``BackendSpec`` cross the experiment process pool, so
     every constructor argument must pickle. Flagged shapes: a lambda
     argument, a name bound to a lambda / locally-defined function or
-    class / ``open()`` handle, and — interprocedurally — a call to a
-    factory (any module, any return-hop depth) that returns one of those.
-    Factories applied in the parent that return module-level objects are
-    the sanctioned pattern and never match.
+    class / ``open()``/``connect()`` resource, a constructed instance of
+    a class whose ``__init__`` stores such a resource on ``self`` (a
+    backend that opens its connection eagerly can never ship through a
+    spec), and — interprocedurally — a call to a factory (any module, any
+    return-hop depth) that returns one of those. Factories applied in the
+    parent that return module-level objects are the sanctioned pattern
+    and never match.
     """
 
     rule_id = "REP103"
@@ -269,6 +274,10 @@ class PickleSafetyRule(FlowRule):
                                 f"a call to `{arg.ref}(...)` which returns "
                                 f"{producers[hits[0]]}"
                             )
+                        else:
+                            reason = self._eager_instance(
+                                index, summary, arg.ref
+                            )
                     if not reason:
                         continue
                     slot = arg.keyword or f"#{position}"
@@ -284,6 +293,30 @@ class PickleSafetyRule(FlowRule):
                         )
                     )
         return findings
+
+    @staticmethod
+    def _eager_instance(
+        index: ProjectIndex, summary: FileSummary, raw: str
+    ) -> str:
+        """Reason when ``raw`` constructs a class that hoards a resource.
+
+        Resolves the call target as a class and inspects its ``__init__``:
+        a ``self.x = open(...)/...connect(...)/lambda`` binding there means
+        every instance carries the unpicklable payload from birth.
+        """
+        cid = index.resolve_class(summary, raw)
+        if cid is None:
+            return ""
+        init_gid = index.class_method(cid, "__init__")
+        if init_gid is None:
+            return ""
+        init = index.functions.get(init_gid)
+        if init is None or not init.unpicklable_self:
+            return ""
+        return (
+            f"an instance of `{index.classes[cid].name}`, whose __init__ "
+            f"stores {init.unpicklable_self} on self"
+        )
 
     @staticmethod
     def _owner_class(summary: FileSummary, qualname: str) -> str:

@@ -190,6 +190,7 @@ class FunctionSummary:
     returns_unseeded: bool = False
     returned_calls: tuple[str, ...] = ()  # raw refs whose result is returned
     unpicklable_return: str = ""  # reason, "" = none detected
+    unpicklable_self: str = ""  # reason a `self.x = ...` binding can't pickle
 
 
 @dataclass
@@ -277,6 +278,7 @@ class FileSummary:
                     returns_unseeded=item.get("returns_unseeded", False),
                     returned_calls=tuple(item.get("returned_calls", ())),
                     unpicklable_return=item.get("unpicklable_return", ""),
+                    unpicklable_self=item.get("unpicklable_self", ""),
                 )
             )
         for item in data.get("classes", ()):
@@ -338,6 +340,21 @@ def _is_cost_model(receiver: ast.expr) -> bool:
     return "model" in terminal.lower()
 
 
+def _resource_reason(raw: str) -> str:
+    """Unpicklable OS-resource reason for a call's raw target, or ``""``.
+
+    ``open(...)`` yields a file handle; ``*.connect(...)`` (psycopg,
+    sqlite3, an injected connector) yields a live socket — neither
+    survives pickling into a worker process.
+    """
+    terminal = raw.rsplit(".", 1)[-1]
+    if terminal == "open":
+        return "an open file handle"
+    if terminal == "connect":
+        return "an open database connection"
+    return ""
+
+
 def _is_unseeded_rng(node: ast.Call, rng_ctors: set[str]) -> bool:
     """An RNG constructor called with no seed: ``random.Random()``,
     ``np.random.default_rng()`` or their imported aliases."""
@@ -386,6 +403,7 @@ class _FunctionFrame:
         self.returned_calls: list[str] = []
         self.returns_unseeded = False
         self.unpicklable_return = ""
+        self.unpicklable_self = ""
         self.raises_budget = False
         self.local_defs: set[str] = set()  # nested function names
         self.local_classes: set[str] = set()
@@ -406,6 +424,7 @@ class _FunctionFrame:
         summary.returns_unseeded = self.returns_unseeded
         summary.returned_calls = tuple(sorted(set(self.returned_calls)))
         summary.unpicklable_return = self.unpicklable_return
+        summary.unpicklable_self = self.unpicklable_self
         return summary
 
 
@@ -529,10 +548,8 @@ class _Extractor(ast.NodeVisitor):
             return SpecArg(keyword, "lambda", "", "a lambda", line, col)
         if isinstance(value, ast.Call):
             raw = call_raw(value.func)
-            reason = ""
-            if raw.rsplit(".", 1)[-1] == "open":
-                reason = "an open file handle"
-            elif frame is not None:
+            reason = _resource_reason(raw)
+            if not reason and frame is not None:
                 name = raw.split(".", 1)[0]
                 if name in frame.local_defs:
                     reason = "a locally-defined function"
@@ -577,6 +594,7 @@ class _Extractor(ast.NodeVisitor):
         if not self.frames:
             return
         frame = self.frames[-1]
+        self._track_self_binding(frame, targets, value)
         names = [t.id for t in targets if isinstance(t, ast.Name)]
         if not names:
             return
@@ -585,8 +603,9 @@ class _Extractor(ast.NodeVisitor):
             reason = "a lambda"
         elif isinstance(value, ast.Call):
             raw = call_raw(value.func)
-            if raw.rsplit(".", 1)[-1] == "open":
-                reason = "an open file handle"
+            reason = _resource_reason(raw)
+            if reason:
+                pass
             elif raw.split(".", 1)[0] in frame.local_classes:
                 reason = "an instance of a locally-defined class"
             elif _is_unseeded_rng(value, self.rng_ctors):
@@ -600,6 +619,33 @@ class _Extractor(ast.NodeVisitor):
                 frame.unpicklable_names[name] = reason
             else:
                 frame.unpicklable_names.pop(name, None)
+
+    def _track_self_binding(
+        self, frame: _FunctionFrame, targets: list[ast.expr], value: ast.expr
+    ) -> None:
+        """Record ``self.x = <unpicklable>`` inside a method (REP103).
+
+        An instance that stores a lambda or an open OS resource on
+        ``self`` can never travel through a pickled spec, no matter how
+        innocent the construction-site argument looks.
+        """
+        if not frame.summary.owner_class:
+            return
+        on_self = any(
+            isinstance(t, ast.Attribute)
+            and isinstance(t.value, ast.Name)
+            and t.value.id == "self"
+            for t in targets
+        )
+        if not on_self:
+            return
+        reason = ""
+        if isinstance(value, ast.Lambda):
+            reason = "a lambda"
+        elif isinstance(value, ast.Call):
+            reason = _resource_reason(call_raw(value.func))
+        if reason and not frame.unpicklable_self:
+            frame.unpicklable_self = reason
 
     def _track_backend_registry(
         self, targets: list[ast.expr], value: ast.expr
@@ -627,10 +673,11 @@ class _Extractor(ast.NodeVisitor):
             raw = call_raw(value.func)
             frame.returned_calls.append(raw)
             head = raw.split(".", 1)[0]
+            resource = _resource_reason(raw)
             if head in frame.local_classes:
                 frame.unpicklable_return = "an instance of a locally-defined class"
-            elif raw.rsplit(".", 1)[-1] == "open":
-                frame.unpicklable_return = "an open file handle"
+            elif resource:
+                frame.unpicklable_return = resource
             if _is_unseeded_rng(value, self.rng_ctors):
                 frame.returns_unseeded = True
         elif isinstance(value, ast.Name):

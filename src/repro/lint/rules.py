@@ -10,7 +10,9 @@ leans on (see DESIGN.md "Static analysis & invariants"):
 * REP005 — cost code never compares floats for equality;
 * REP006 — no shared mutable defaults in signatures or dataclasses;
 * REP007 — cost engines are resolved via the backend factory, never by
-  constructing ``WhatIfOptimizer`` directly.
+  constructing ``WhatIfOptimizer`` directly; the ``psycopg`` driver is
+  imported only inside ``repro/backend/dbms`` (the optional-dependency
+  gate).
 """
 
 from __future__ import annotations
@@ -102,7 +104,7 @@ class BudgetLeakRule(Rule):
 
 @register
 class BackendBoundaryRule(Rule):
-    """REP007: direct ``WhatIfOptimizer`` use outside the backend layer.
+    """REP007: direct ``WhatIfOptimizer``/``psycopg`` use across the seam.
 
     The cost engine is a pluggable layer: consumers hold a
     :class:`~repro.backend.base.CostBackend` resolved through
@@ -112,17 +114,55 @@ class BackendBoundaryRule(Rule):
     ignoring the session's ``--backend`` selection — a record run that
     costs through a direct construction writes an incomplete trace, and a
     noisy-robustness run measures the wrong engine.
+
+    The same seam has a second edge: the optional ``psycopg`` driver may
+    be imported only inside ``repro/backend/dbms`` (where
+    ``require_psycopg`` turns its absence into an actionable error). A
+    top-level ``import psycopg`` anywhere else makes the whole module —
+    and everything importing it — fail on machines without the extra,
+    breaking the "replay works with psycopg uninstalled" guarantee.
+
+    The rule now runs over ``repro/backend`` itself: the WhatIfOptimizer
+    sub-checks stay exempt there (``analytic.py`` legitimately re-exports
+    it), and the psycopg sub-checks stay exempt under ``dbms``.
     """
 
     rule_id = "REP007"
     title = "backend-boundary: direct WhatIfOptimizer construction/import"
-    exempt = ("optimizer", "backend", "lint")
+    exempt = ("optimizer", "lint")
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        # Names bound via ``psycopg = require_psycopg()`` — the sanctioned
+        # gate — are not raw driver imports; calls through them are fine.
+        self._gated_names: set[str] = set()
+
+    def _optimizer_in_scope(self) -> bool:
+        """WhatIfOptimizer checks: everywhere except the backend layer."""
+        return "backend" not in self.ctx.segments
+
+    def _psycopg_in_scope(self) -> bool:
+        """psycopg checks: everywhere except ``repro/backend/dbms``."""
+        return "dbms" not in self.ctx.segments
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if self._psycopg_in_scope():
+            for alias in node.names:
+                if alias.name.split(".")[0] == "psycopg":
+                    self.report(
+                        node,
+                        "direct `import psycopg` outside repro/backend/dbms; "
+                        "go through repro.backend.dbms.require_psycopg so a "
+                        "missing driver raises an actionable error",
+                    )
+        self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module is not None and node.module.split(".")[:2] == [
-            "repro",
-            "optimizer",
-        ]:
+        if (
+            self._optimizer_in_scope()
+            and node.module is not None
+            and node.module.split(".")[:2] == ["repro", "optimizer"]
+        ):
             for alias in node.names:
                 if alias.name == "WhatIfOptimizer":
                     self.report(
@@ -132,6 +172,32 @@ class BackendBoundaryRule(Rule):
                         "repro.backend.CostBackend and resolve engines via "
                         "build_backend",
                     )
+        if (
+            self._psycopg_in_scope()
+            and node.module is not None
+            and node.module.split(".")[0] == "psycopg"
+        ):
+            self.report(
+                node,
+                "direct `from psycopg import ...` outside repro/backend/dbms; "
+                "go through repro.backend.dbms.require_psycopg so a missing "
+                "driver raises an actionable error",
+            )
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        value = node.value
+        if isinstance(value, ast.Call):
+            func = value.func
+            terminal = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if terminal == "require_psycopg":
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self._gated_names.add(target.id)
         self.generic_visit(node)
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -142,12 +208,26 @@ class BackendBoundaryRule(Rule):
             name = func.attr
         else:
             name = None
-        if name == "WhatIfOptimizer":
+        if name == "WhatIfOptimizer" and self._optimizer_in_scope():
             self.report(
                 node,
                 "direct WhatIfOptimizer construction bypasses the backend "
                 "factory; use repro.backend.build_backend (honours "
                 "--backend/REPRO_BACKEND)",
+            )
+        elif (
+            self._psycopg_in_scope()
+            and isinstance(func, ast.Attribute)
+            and func.attr == "connect"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "psycopg"
+            and func.value.id not in self._gated_names
+        ):
+            self.report(
+                node,
+                "direct `psycopg.connect(...)` outside repro/backend/dbms; "
+                "use repro.backend.dbms.ConnectionPool (pooling, retry, "
+                "session setup)",
             )
         self.generic_visit(node)
 

@@ -16,8 +16,14 @@ TPC-H ships with hand-written SQL for each of the 22 templates (adapted to
 the library's SELECT subset); TPC-DS, JOB, Real-D and Real-M are synthesized
 over their (real or statistically-matched) schemas with profiles calibrated
 to the table above. All workloads are deterministic given the registry seed.
+
+A sixth registered workload, ``toy`` (:mod:`repro.workload.suites.toy`),
+is not part of Table 1: it is the deterministic 12-query star-schema
+workload the test suite and CI smoke paths run on, small enough to
+materialise into a live Postgres in seconds.
 """
 
 from repro.workload.suites.registry import available_workloads, get_workload
+from repro.workload.suites.toy import toy_star_schema, toy_workload
 
-__all__ = ["available_workloads", "get_workload"]
+__all__ = ["available_workloads", "get_workload", "toy_star_schema", "toy_workload"]

@@ -1,4 +1,4 @@
-"""Workload registry: lazy, cached construction of the five workloads.
+"""Workload registry: lazy, cached construction of the named workloads.
 
 Benchmarks resolve workloads through :func:`get_workload` so repeated bench
 targets share the (potentially expensive) schema/workload construction.
@@ -16,6 +16,7 @@ from repro.workload.suites.job import job_workload
 from repro.workload.suites.real import real_d_workload, real_m_workload
 from repro.workload.suites.tpcds import tpcds_workload
 from repro.workload.suites.tpch import tpch_workload
+from repro.workload.suites.toy import toy_workload
 
 _BUILDERS: dict[str, Callable[[float], Workload]] = {}
 _CACHE: dict[tuple[str, float], Workload] = {}
@@ -25,6 +26,7 @@ def _register(name: str, builder: Callable[[float], Workload]) -> None:
     _BUILDERS[name] = builder
 
 
+_register("toy", lambda scale: toy_workload())
 _register("tpch", lambda scale: tpch_workload())
 _register("tpcds", lambda scale: tpcds_workload())
 _register("job", lambda scale: job_workload())

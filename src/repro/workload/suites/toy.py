@@ -1,0 +1,56 @@
+"""The toy star-schema workload: small, deterministic, loadable anywhere.
+
+This is the test suite's long-standing star schema and 12-query
+synthesized workload, promoted into the suites registry so runtime
+consumers — the CLI smoke paths and the Postgres loader/CI job in
+particular — can build it by name (``--workload toy``) instead of only
+inside pytest. The construction is fully deterministic (fixed synthesis
+seed, fixed profile), so a toy workload built in CI, in a worker
+process, and in a test fixture is the same workload, query for query.
+"""
+
+from __future__ import annotations
+
+from repro.catalog import ColumnType, Schema, SchemaBuilder
+from repro.workload.query import Workload
+from repro.workload.synthesis import SynthesisProfile, WorkloadSynthesizer
+
+#: Synthesis seed pinning the toy workload's queries.
+TOY_SEED = 3
+
+#: Synthesis profile pinning the toy workload's shape.
+TOY_PROFILE = SynthesisProfile(num_queries=12, max_joins=2, filters_per_query=1.5)
+
+
+def toy_star_schema() -> Schema:
+    """A 1M-row fact table with two dimensions — the standard test schema."""
+    return (
+        SchemaBuilder("star")
+        .table("fact", rows=1_000_000)
+        .column("fk1", distinct=1_000)
+        .column("fk2", distinct=500)
+        .column("val", ColumnType.DECIMAL, distinct=10_000, lo=0, hi=10_000)
+        .column("cat", ColumnType.VARCHAR, distinct=50)
+        .column("flag", ColumnType.CHAR, distinct=3)
+        .table("dim1", rows=1_000)
+        .column("id", distinct=1_000)
+        .column("attr", distinct=20)
+        .table("dim2", rows=500)
+        .column("id", distinct=500)
+        .column("name", ColumnType.VARCHAR, distinct=500)
+        .foreign_key("fact", "fk1", "dim1", "id")
+        .foreign_key("fact", "fk2", "dim2", "id")
+        .build()
+    )
+
+
+def toy_workload(scale: float = 1.0) -> Workload:
+    """The deterministic 12-query toy workload over the star schema.
+
+    ``scale`` is accepted for registry uniformity but ignored: the toy
+    suite is already small, and scaling its *catalog* statistics would
+    change costs and break the fixtures pinned against it. (Data volume
+    at load time is scaled by the Postgres loader, not here.)
+    """
+    schema = toy_star_schema()
+    return WorkloadSynthesizer(schema, TOY_PROFILE, seed=TOY_SEED).generate("toy")

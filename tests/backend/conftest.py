@@ -8,9 +8,12 @@ test from one pre-recorded trace.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.backend import BACKEND_NAMES, BackendSpec, build_backend
+from repro.backend.dbms import materialize_workload, psycopg_available
 
 #: Number of leading toy candidates the conformance universe is built from.
 N_CANDIDATES = 4
@@ -75,8 +78,28 @@ def backend_name(request):
     return request.param
 
 
+@pytest.fixture(scope="session")
+def postgres_toy_dsn(toy_workload):
+    """DSN of a live Postgres+HypoPG with the toy workload materialized.
+
+    Skips — rather than fails — when no ``REPRO_PG_DSN`` is configured or
+    the optional ``psycopg`` driver is missing, so the conformance matrix
+    stays green on machines without a database. Materialization (DDL +
+    deterministic data + ``CREATE EXTENSION hypopg``) runs once per
+    session at a small scale; costs only need to be *consistent*, not
+    realistic.
+    """
+    dsn = os.environ.get("REPRO_PG_DSN")
+    if not dsn:
+        pytest.skip("REPRO_PG_DSN not set; no live Postgres")
+    if not psycopg_available():
+        pytest.skip("psycopg not installed (pip install 'repro[postgres]')")
+    materialize_workload(dsn, toy_workload, scale=0.01)
+    return dsn
+
+
 @pytest.fixture
-def make_backend(backend_name, toy_workload, toy_trace, tmp_path):
+def make_backend(request, backend_name, toy_workload, toy_trace, tmp_path):
     """Factory building the parametrized backend over the toy workload."""
 
     def make(budget=None, **kwargs):
@@ -88,6 +111,12 @@ def make_backend(backend_name, toy_workload, toy_trace, tmp_path):
             spec = BackendSpec(name="replay", trace_path=str(toy_trace))
         elif backend_name == "noisy":
             spec = BackendSpec(name="noisy", noise=0.25, noise_seed=7)
+        elif backend_name == "postgres":
+            # Resolved lazily so only the postgres cells skip (or run live).
+            spec = BackendSpec(
+                name="postgres",
+                pg_dsn=request.getfixturevalue("postgres_toy_dsn"),
+            )
         else:
             spec = BackendSpec(name="analytic")
         return build_backend(spec, toy_workload, budget=budget, **kwargs)

@@ -3,42 +3,44 @@ session-cached benchmark workloads."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from repro.catalog import ColumnType, SchemaBuilder
+from repro.catalog import SchemaBuilder
 from repro.config import TuningConstraints
-from repro.workload import CandidateGenerator, SynthesisProfile, WorkloadSynthesizer
+from repro.workload import CandidateGenerator
 from repro.workload.query import Query, Workload
+from repro.workload.suites.toy import TOY_PROFILE, TOY_SEED, toy_star_schema
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip ``requires_postgres`` tests unless a live DSN is configured."""
+    if os.environ.get("REPRO_PG_DSN"):
+        return
+    skip = pytest.mark.skip(reason="REPRO_PG_DSN not set; no live Postgres")
+    for item in items:
+        if "requires_postgres" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")
 def star_schema():
-    """A 1M-row fact table with two dimensions — the standard test schema."""
-    return (
-        SchemaBuilder("star")
-        .table("fact", rows=1_000_000)
-        .column("fk1", distinct=1_000)
-        .column("fk2", distinct=500)
-        .column("val", ColumnType.DECIMAL, distinct=10_000, lo=0, hi=10_000)
-        .column("cat", ColumnType.VARCHAR, distinct=50)
-        .column("flag", ColumnType.CHAR, distinct=3)
-        .table("dim1", rows=1_000)
-        .column("id", distinct=1_000)
-        .column("attr", distinct=20)
-        .table("dim2", rows=500)
-        .column("id", distinct=500)
-        .column("name", ColumnType.VARCHAR, distinct=500)
-        .foreign_key("fact", "fk1", "dim1", "id")
-        .foreign_key("fact", "fk2", "dim2", "id")
-        .build()
-    )
+    """A 1M-row fact table with two dimensions — the standard test schema.
+
+    Delegates to :func:`repro.workload.suites.toy.toy_star_schema` (a
+    fresh build, not the registry cache) so the fixtures and the runtime
+    ``toy`` suite can never drift apart.
+    """
+    return toy_star_schema()
 
 
 @pytest.fixture(scope="session")
 def toy_workload(star_schema):
     """A deterministic 12-query synthesized workload over the star schema."""
-    profile = SynthesisProfile(num_queries=12, max_joins=2, filters_per_query=1.5)
-    return WorkloadSynthesizer(star_schema, profile, seed=3).generate("toy")
+    from repro.workload.synthesis import WorkloadSynthesizer
+
+    return WorkloadSynthesizer(star_schema, TOY_PROFILE, seed=TOY_SEED).generate("toy")
 
 
 @pytest.fixture(scope="session")

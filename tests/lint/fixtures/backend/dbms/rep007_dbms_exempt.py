@@ -1,0 +1,13 @@
+"""REP007 fixture: ``repro/backend/dbms`` is the sanctioned import point."""
+
+import psycopg
+from psycopg import OperationalError
+
+
+def open_connection(dsn):
+    # Inside the dbms support layer the driver is the implementation.
+    return psycopg.connect(dsn, autocommit=True)
+
+
+def transient_kinds():
+    return (OperationalError,)

@@ -1,0 +1,25 @@
+"""REP007 fixture: raw psycopg use outside ``repro/backend/dbms``.
+
+The driver is an optional extra; only ``repro.backend.dbms`` may import
+it (through ``require_psycopg``, which turns absence into an actionable
+error). Anywhere else — including the rest of the backend package — a
+raw import breaks the psycopg-free replay guarantee.
+"""
+
+import psycopg  # repro-lint-expect: REP007
+from psycopg import OperationalError  # repro-lint-expect: REP007
+
+
+def raw_connection(dsn):
+    return psycopg.connect(dsn)  # repro-lint-expect: REP007
+
+
+def suppressed(dsn):
+    return psycopg.connect(dsn)  # repro-lint: off[REP007]
+
+
+def gated_connection(dsn):
+    # The sanctioned pattern: the gate raises BackendUnavailableError
+    # with the install hint when the driver is missing.
+    psycopg = require_psycopg()
+    return psycopg.connect(dsn)

@@ -1,0 +1,31 @@
+"""Eager vs lazy connection ownership (REP103 pickle-safety fixture).
+
+``EagerBackend`` opens its connection at construction, so any instance
+smuggles a live socket; ``LazyBackend`` stores only the DSN and is
+spec-safe.
+"""
+
+from helpers import db
+
+
+class EagerBackend:
+    def __init__(self, dsn):
+        self.conn = db.connect(dsn)
+
+    def whatif_cost(self, query, configuration):
+        return 1.0
+
+    def true_workload_cost(self, configuration):
+        return 2.0
+
+
+class LazyBackend:
+    def __init__(self, dsn):
+        self.dsn = dsn
+        self.conn = None
+
+    def whatif_cost(self, query, configuration):
+        return 1.0
+
+    def true_workload_cost(self, configuration):
+        return 2.0

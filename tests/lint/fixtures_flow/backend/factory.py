@@ -1,6 +1,7 @@
 """The registry REP105 walks; only *registered* classes are checked."""
 
 from backend.bad import BadBackend
+from backend.eager import EagerBackend, LazyBackend
 from backend.good import FlexBackend, GoodBackend
 
 
@@ -15,4 +16,8 @@ BACKENDS = {
     "good": GoodBackend,
     "flex": FlexBackend,
     "bad": BadBackend,
+    # Live-DBMS-shaped backends: both conform (REP105 silent); their
+    # connection ownership is REP103's business, not the registry's.
+    "eager": EagerBackend,
+    "lazy": LazyBackend,
 }

@@ -1,0 +1,21 @@
+"""Fake DBMS driver (REP103 connection fixture support)."""
+
+
+class Connection:
+    """Stands in for a live socket-holding driver connection."""
+
+    def close(self):
+        return None
+
+
+def connect(dsn):
+    return Connection()
+
+
+def open_link(dsn):
+    """A factory whose return value is an open connection (one hop)."""
+    return db_connect(dsn)
+
+
+def db_connect(dsn):
+    return connect(dsn)

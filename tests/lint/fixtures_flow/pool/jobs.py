@@ -1,5 +1,7 @@
 """Spec construction sites: REP103 true positives and sanctioned shapes."""
 
+from backend.eager import EagerBackend, LazyBackend
+from helpers import db
 from helpers.io import default_writer, make_writer, persist, writer_by_another_name
 from pool.spec import BackendSpec, CellSpec
 
@@ -30,3 +32,19 @@ def build_local_spec():
 
 def build_ok_spec():
     return CellSpec(fn=persist, writer=default_writer())
+
+
+def build_connection_spec(dsn):
+    return CellSpec(conn=db.connect(dsn))  # flow-expect: REP103
+
+
+def build_link_factory_spec(dsn):
+    return CellSpec(link=db.open_link(dsn))  # flow-expect: REP103
+
+
+def build_eager_backend_spec(dsn):
+    return BackendSpec(backend=EagerBackend(dsn))  # flow-expect: REP103
+
+
+def build_lazy_backend_spec(dsn):
+    return BackendSpec(backend=LazyBackend(dsn))

@@ -172,8 +172,12 @@ class TestIncrementalCache:
         project = _copy_fixtures(tmp_path)
         cache = tmp_path / DEFAULT_CACHE
         self._analyze(project, cache)
+        from repro.lint.flow.cache import CACHE_VERSION
+
         text = cache.read_text(encoding="utf-8")
-        cache.write_text(text.replace('"version": 2', '"version": 1'))
+        cache.write_text(
+            text.replace(f'"version": {CACHE_VERSION}', '"version": 0')
+        )
         _, stats = self._analyze(project, cache)
         assert len(stats.reindexed) == stats.total_files
 

@@ -31,6 +31,7 @@ class TestRegistry:
             "job",
             "real_d",
             "real_m",
+            "toy",
             "tpcds",
             "tpch",
         }
