@@ -67,6 +67,10 @@ class BackendSpec:
             driver can resolve the DSN in the worker's environment.
         pg_schema: Optional schema (``search_path``) for the postgres
             backend's tables.
+        pricing_jobs: Concurrent pricing workers for the speculate-then-
+            commit executor (1 = serial path; never affects results).
+        whatif_cache: Persistent cross-session what-if cache directory
+            (``None`` disables; never affects results).
     """
 
     name: str = "analytic"
@@ -75,6 +79,8 @@ class BackendSpec:
     noise_seed: int = 0
     pg_dsn: str | None = None
     pg_schema: str | None = None
+    pricing_jobs: int = 1
+    whatif_cache: str | None = None
 
     def __post_init__(self) -> None:
         if self.name not in BACKENDS:
@@ -88,6 +94,10 @@ class BackendSpec:
             )
         if self.noise < 0:
             raise TuningError(f"noise must be non-negative, got {self.noise}")
+        if self.pricing_jobs < 1:
+            raise TuningError(
+                f"pricing_jobs must be at least 1, got {self.pricing_jobs}"
+            )
 
     @classmethod
     def from_config(cls, config: ReproConfig) -> "BackendSpec":
@@ -99,6 +109,8 @@ class BackendSpec:
             noise_seed=config.noise_seed,
             pg_dsn=config.pg_dsn,
             pg_schema=config.pg_schema,
+            pricing_jobs=config.pricing_jobs,
+            whatif_cache=config.whatif_cache,
         )
 
 
@@ -123,6 +135,8 @@ def resolve_spec(
         noise_seed=base.noise_seed,
         pg_dsn=base.pg_dsn,
         pg_schema=base.pg_schema,
+        pricing_jobs=base.pricing_jobs,
+        whatif_cache=base.whatif_cache,
     )
 
 
@@ -154,6 +168,8 @@ def build_backend(
         cost_model=cost_model,
         normalize_cache=normalize_cache,
         pool_size=pool_size,
+        pricing_jobs=resolved.pricing_jobs,
+        whatif_cache=resolved.whatif_cache,
         config=config,
         policy=policy,
         events=events,

@@ -88,6 +88,18 @@ class NoisyBackend(AnalyticBackend):
             return cost
         return cost * self._factor(prepared.qid, key)
 
+    def cache_identity(self) -> dict:
+        """Extend the shard key with the perturbation parameters.
+
+        Persisted costs are *post-noise*, so a different σ or seed must
+        land in a different shard file (σ = 0 still keys separately from
+        the analytic shard — the name field already differs).
+        """
+        identity = super().cache_identity()
+        identity["noise"] = self._noise
+        identity["noise_seed"] = self._noise_seed
+        return identity
+
     # ------------------------------------------------------------------ #
     # clean evaluation
     # ------------------------------------------------------------------ #

@@ -198,6 +198,7 @@ class PostgresBackend(AnalyticBackend):
             connect=_session_opener(connector),
             setup=_SESSION_SETUP,
         )
+        self._pg_schema = pg_schema
         self._retries = retries
         self._backoff = backoff
         self._transient = transient
@@ -251,11 +252,60 @@ class PostgresBackend(AnalyticBackend):
             self._recorded[(qid, canonical_key(key))] = cost
             self._saved = False
 
+    def _on_recalled(self, qid: str, key: frozenset[Index], cost: float) -> None:
+        # A persistent-cache hit skips _evaluate; mirror it into the trace
+        # so a warm-cache recorded session still replays completely.
+        self._record(qid, key, cost)
+
+    def cache_identity(self) -> dict:
+        """Extend the shard key with server-side pricing identity.
+
+        Costs come from the live planner, so the DSN (hashed — it may
+        carry credentials), the schema, and the server/hypopg versions all
+        key the shard file: a server upgrade or a different database lands
+        in a fresh shard instead of serving stale plans' costs.
+        """
+        from repro.backend.cache import stable_digest
+
+        identity = super().cache_identity()
+        identity["dsn"] = stable_digest(self._pool.dsn)[:16]
+        identity["schema"] = self._pg_schema or ""
+        identity.update(self.server_info())
+        return identity
+
     def _evaluate(self, prepared: PreparedQuery, key: frozenset[Index]) -> float:
         sql = self._sql[prepared.qid]
         cost = self._run(lambda session: session.cost(sql, key))
         self._record(prepared.qid, key, cost)
         return cost
+
+    def _price_shard(
+        self, shard: list[tuple[str, PreparedQuery, frozenset[Index]]]
+    ) -> list[float]:
+        """Price one speculative wave shard on a single pooled session.
+
+        Concurrent shards borrow distinct pooled connections, so EXPLAIN
+        round-trips overlap on the server; within a shard, pairs are
+        grouped by (normalized) configuration so each hypothetical-index
+        set is synced once. Runs on a worker thread: the only side effect
+        is trace recording via per-pair GIL-atomic dict writes — stats,
+        budget, and cache commits stay with the serial commit loop.
+        """
+        groups: dict[frozenset[Index], list[int]] = {}
+        for position, (_, _, norm) in enumerate(shard):
+            groups.setdefault(norm, []).append(position)
+        costs: list[float] = [0.0] * len(shard)
+
+        def price_all(session: PostgresSession) -> None:
+            for norm, positions in groups.items():
+                for position in positions:
+                    qid, _, _ = shard[position]
+                    costs[position] = session.cost(self._sql[qid], norm)
+
+        self._run(price_all)
+        for (qid, _, norm), cost in zip(shard, costs, strict=True):
+            self._record(qid, norm, cost)
+        return costs
 
     def _price_batch(
         self, pending: list[tuple[str, PreparedQuery, frozenset[Index]]]
@@ -271,23 +321,35 @@ class PostgresBackend(AnalyticBackend):
         """
         self._stats.batch_calls += 1
         self._stats.batched_pairs += len(pending)
-        groups: dict[frozenset[Index], list[int]] = {}
-        for position, (_, _, norm) in enumerate(pending):
-            groups.setdefault(norm, []).append(position)
         costs: list[float] = [0.0] * len(pending)
+        misses = list(range(len(pending)))
+        if self._whatif_cache is not None:
+            misses = []
+            for position, (qid, _, norm) in enumerate(pending):
+                recalled = self._recall(qid, norm)
+                if recalled is None:
+                    misses.append(position)
+                else:
+                    costs[position] = recalled
+        if misses:
+            groups: dict[frozenset[Index], list[int]] = {}
+            for position in misses:
+                groups.setdefault(pending[position][2], []).append(position)
 
-        def price_all(session: PostgresSession) -> None:
-            for norm, positions in groups.items():
-                for position in positions:
-                    qid, _, _ = pending[position]
-                    costs[position] = session.cost(self._sql[qid], norm)
+            def price_all(session: PostgresSession) -> None:
+                for norm, positions in groups.items():
+                    for position in positions:
+                        qid, _, _ = pending[position]
+                        costs[position] = session.cost(self._sql[qid], norm)
 
-        start = perf_counter()
-        self._run(price_all)
-        self._stats.cost_seconds += perf_counter() - start
+            start = perf_counter()
+            self._run(price_all)
+            self._stats.cost_seconds += perf_counter() - start
+            for position in misses:
+                qid, _, norm = pending[position]
+                self._record(qid, norm, costs[position])
+                self._store(qid, norm, costs[position])
         self._stats.cost_evaluations += len(pending)
-        for (qid, _, norm), cost in zip(pending, costs, strict=True):
-            self._record(qid, norm, cost)
         return costs
 
     def explain(self, query: Query, configuration) -> PostgresPlan:

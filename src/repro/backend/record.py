@@ -61,6 +61,20 @@ class RecordingBackend(AnalyticBackend):
         self._saved = False
         return cost
 
+    def _on_recalled(self, qid: str, key: frozenset[Index], cost: float) -> None:
+        # A persistent-cache hit skips _evaluate; mirror it into the trace
+        # so a warm-cache recorded session still replays completely.
+        self._recorded[(qid, canonical_key(key))] = cost
+        self._saved = False
+
+    def cache_identity(self) -> dict:
+        """Share the analytic backend's shard: recording observes, the
+        analytic engine prices, so both produce identical floats per pair.
+        """
+        identity = super().cache_identity()
+        identity["backend"] = "analytic"
+        return identity
+
     def save_trace(self) -> int:
         """Write the trace file; returns the number of cost lines."""
         header = TraceHeader(

@@ -37,6 +37,11 @@ class ReplayBackend(AnalyticBackend):
     name = "replay"
     monotonic = True
 
+    #: A replayed pricing is a dict lookup — there is nothing to overlap,
+    #: and fanning lookups over workers would only race the ``replayed``
+    #: counter. Replay always prices serially (results are identical).
+    supports_concurrent_pricing = False
+
     def __init__(self, workload, *args, trace_path: str | Path, **kwargs):
         if not trace_path:
             raise TuningError("ReplayBackend requires a trace_path")
@@ -69,6 +74,20 @@ class ReplayBackend(AnalyticBackend):
     def trace_pairs(self) -> int:
         """Distinct (query, configuration) costs available in the trace."""
         return len(self._trace_costs)
+
+    def cache_identity(self) -> dict:
+        """Extend the shard key with the trace content.
+
+        Replayed costs *are* the trace, so two different traces must never
+        share a shard file even when everything else matches.
+        """
+        from repro.backend.cache import stable_digest
+
+        identity = super().cache_identity()
+        identity["trace"] = stable_digest(
+            [[qid, list(key), cost] for (qid, key), cost in sorted(self._trace_costs.items())]
+        )
+        return identity
 
     def _evaluate(self, prepared: PreparedQuery, key: frozenset[Index]) -> float:
         trace_key = canonical_key(key)

@@ -126,6 +126,15 @@ def _build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--pg-schema", default=None, metavar="SCHEMA",
                       help="schema holding the tables for --backend postgres "
                            "(default: REPRO_PG_SCHEMA or search_path)")
+    tune.add_argument("--pricing-jobs", type=int, default=None, metavar="N",
+                      help="concurrent pricing workers for batched what-if "
+                           "pricing (default: REPRO_PRICING_JOBS or 1); "
+                           "results are bit-identical to serial pricing")
+    tune.add_argument("--whatif-cache", default=None, metavar="PATH",
+                      help="persistent cross-session what-if cache directory "
+                           "('1'/'default' = ~/.cache/repro; default: "
+                           "REPRO_WHATIF_CACHE or disabled); never changes "
+                           "costs or budget accounting")
     tune.add_argument("--trace", default=None, metavar="PATH",
                       help="write the session event stream as JSON lines to "
                            "PATH ('-' for stdout)")
@@ -165,6 +174,14 @@ def _build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--pg-dsn", default=None, metavar="DSN",
                     help="connection string for --backend postgres "
                          "(default: REPRO_PG_DSN)")
+    ev.add_argument("--pricing-jobs", type=int, default=None, metavar="N",
+                    help="concurrent pricing workers inside each grid cell "
+                         "(default: REPRO_PRICING_JOBS or 1); records are "
+                         "bit-identical to serial pricing")
+    ev.add_argument("--whatif-cache", default=None, metavar="PATH",
+                    help="persistent cross-session what-if cache directory "
+                         "('1'/'default' = ~/.cache/repro; default: "
+                         "REPRO_WHATIF_CACHE or disabled)")
     ev.add_argument("--json", default=None, metavar="PATH",
                     help="write the machine-readable BENCH payload to PATH "
                          "('-' for stdout)")
@@ -233,33 +250,43 @@ def _backend_spec(args: argparse.Namespace) -> BackendSpec | None:
 
     Returns ``None`` when no backend flag was given, so the downstream
     resolution (:func:`repro.backend.factory.resolve_spec`) falls back to
-    ``REPRO_BACKEND`` and friends exactly as library callers do.
+    ``REPRO_BACKEND`` and friends exactly as library callers do. Any single
+    flag switches to an explicit spec built from the environment defaults
+    with only the given overrides applied, so e.g. ``--pricing-jobs`` alone
+    never resets ``REPRO_BACKEND``.
     """
-    flags = (
-        args.backend,
-        args.backend_trace,
-        args.noise,
-        args.noise_seed,
-        args.pg_dsn,
-        args.pg_schema,
-    )
-    if all(flag is None for flag in flags):
+    overrides = {
+        field: value
+        for field, value in (
+            ("name", args.backend),
+            ("trace_path", args.backend_trace),
+            ("noise", args.noise),
+            ("noise_seed", args.noise_seed),
+            ("pg_dsn", args.pg_dsn),
+            ("pg_schema", args.pg_schema),
+            ("pricing_jobs", args.pricing_jobs),
+            ("whatif_cache", args.whatif_cache),
+        )
+        if value is not None
+    }
+    if not overrides:
         return None
     config = ReproConfig.from_env()
-    name = args.backend or config.backend
-    trace = args.backend_trace or config.backend_trace
+    name = overrides.get("name", config.backend)
+    trace = overrides.get("trace_path", config.backend_trace)
     if name in ("record", "replay") and not trace:
         raise TuningError(f"--backend {name} requires --backend-trace PATH")
-    return BackendSpec(
-        name=name,
-        trace_path=trace,
-        noise=config.noise if args.noise is None else args.noise,
-        noise_seed=(
-            config.noise_seed if args.noise_seed is None else args.noise_seed
-        ),
-        pg_dsn=args.pg_dsn or config.pg_dsn,
-        pg_schema=args.pg_schema or config.pg_schema,
-    )
+    defaults = {
+        "name": config.backend,
+        "trace_path": config.backend_trace,
+        "noise": config.noise,
+        "noise_seed": config.noise_seed,
+        "pg_dsn": config.pg_dsn,
+        "pg_schema": config.pg_schema,
+        "pricing_jobs": config.pricing_jobs,
+        "whatif_cache": config.whatif_cache,
+    }
+    return BackendSpec(**{**defaults, **overrides})
 
 
 def _cmd_tune_multi_seed(args: argparse.Namespace, workload, constraints) -> int:
@@ -379,6 +406,13 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         if stats.replayed:
             print(f"replayed {stats.replayed} pricings from the trace "
                   "(zero cost-model invocations)")
+        if stats.persistent_hits:
+            print(f"persistent what-if cache: {stats.persistent_hits} pairs "
+                  "recalled from earlier sessions")
+        if stats.speculative_priced:
+            print(f"speculative pricing: {stats.speculative_priced} pairs "
+                  f"priced concurrently, {stats.speculation_wasted} wasted "
+                  "past the budget")
     if result.configuration:
         print(f"recommended configuration ({len(result.configuration)} indexes):")
         for index in sorted(result.configuration, key=lambda ix: ix.display()):
@@ -397,6 +431,10 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         # ground-truth pricings a replay of this session will need.
         written = optimizer.save_trace()
         print(f"what-if trace: {written} cost lines -> {optimizer.trace_path}")
+    if optimizer is not None:
+        # Flush the persistent what-if cache (if any) and release pricing
+        # threads / pooled connections.
+        optimizer.close()
     return 0
 
 
@@ -425,6 +463,14 @@ def _cmd_eval(args: argparse.Namespace) -> int:
         overrides["noise_seed"] = args.noise_seed
     if args.pg_dsn is not None:
         overrides["pg_dsn"] = args.pg_dsn
+    if args.pricing_jobs is not None:
+        if args.pricing_jobs < 1:
+            print(f"error: --pricing-jobs must be positive, got "
+                  f"{args.pricing_jobs}", file=sys.stderr)
+            return 2
+        overrides["pricing_jobs"] = args.pricing_jobs
+    if args.whatif_cache is not None:
+        overrides["whatif_cache"] = args.whatif_cache
     if overrides:
         settings = replace(settings, **overrides)
     artifact = run_experiment(args.figure, settings)

@@ -56,6 +56,20 @@ class ReproConfig:
             and log ordinals are committed in issue order, so the pool size
             never affects outcomes — only wall-clock (and only when the
             cost model releases the GIL, e.g. a native backend).
+        pricing_jobs: Concurrent pricing workers for the speculate-then-
+            commit batch executor
+            (:class:`~repro.backend.concurrent.PricingExecutor`). ``1``
+            keeps the serial path. Workers only *compute* costs; a single
+            commit loop replays them in issue order against the budget
+            policy, so grants, denials, stats, and the event stream are
+            bit-identical for every job count — only wall-clock changes
+            (and, like ``whatif_pool_size``, only when pricing releases
+            the GIL, e.g. Postgres EXPLAIN round-trips).
+        whatif_cache: Persistent cross-session what-if cache directory
+            (:mod:`repro.backend.cache`); ``None`` disables it, ``"1"`` /
+            ``"default"`` select ``~/.cache/repro``. A cache hit replaces
+            pricing work, never a budget charge, so warm runs stay
+            bit-identical to cold ones.
         budget_policy: Default budget discipline for tuning sessions —
             ``"fcfs"`` (Section 4.2.1, default), ``"wii"`` (per-query
             slices with dynamic reallocation), ``"esc"`` (early stop over
@@ -98,6 +112,8 @@ class ReproConfig:
 
     normalize_cache: bool = True
     whatif_pool_size: int = 1
+    pricing_jobs: int = 1
+    whatif_cache: str | None = None
     budget_policy: str = "fcfs"
     wii_release_rate: float = 0.5
     esc_patience: int = 3
@@ -114,6 +130,10 @@ class ReproConfig:
         if self.whatif_pool_size < 1:
             raise ConstraintError(
                 f"whatif_pool_size must be at least 1, got {self.whatif_pool_size}"
+            )
+        if self.pricing_jobs < 1:
+            raise ConstraintError(
+                f"pricing_jobs must be at least 1, got {self.pricing_jobs}"
             )
         if self.budget_policy not in _BUDGET_POLICY_NAMES:
             raise ConstraintError(
@@ -145,6 +165,7 @@ class ReproConfig:
         """Build a config from the ``REPRO_*`` environment knobs.
 
         Recognised: ``REPRO_NORMALIZE_CACHE``, ``REPRO_WHATIF_POOL``,
+        ``REPRO_PRICING_JOBS``, ``REPRO_WHATIF_CACHE``,
         ``REPRO_BUDGET_POLICY``, ``REPRO_WII_RELEASE_RATE``,
         ``REPRO_ESC_PATIENCE``, ``REPRO_ESC_MIN_DELTA``,
         ``REPRO_SANITIZE``, ``REPRO_BACKEND``, ``REPRO_BACKEND_TRACE``,
@@ -195,6 +216,8 @@ class ReproConfig:
         return cls(
             normalize_cache=normalize,
             whatif_pool_size=pool,
+            pricing_jobs=_int_env("REPRO_PRICING_JOBS", 1),
+            whatif_cache=os.environ.get("REPRO_WHATIF_CACHE") or None,
             budget_policy=os.environ.get("REPRO_BUDGET_POLICY", "fcfs"),
             wii_release_rate=_float_env("REPRO_WII_RELEASE_RATE", 0.5),
             esc_patience=_int_env("REPRO_ESC_PATIENCE", 3),

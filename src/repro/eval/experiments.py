@@ -75,6 +75,12 @@ class ExperimentSettings:
             (``REPRO_PG_DSN``).
         pg_schema: Schema namespace for the postgres backend
             (``REPRO_PG_SCHEMA``).
+        pricing_jobs: Concurrent pricing workers inside each grid cell
+            (``REPRO_PRICING_JOBS``); records are bit-identical to serial
+            pricing at any value.
+        whatif_cache: Persistent cross-session what-if cache directory
+            (``REPRO_WHATIF_CACHE``); ``None`` disables. Never changes
+            costs or budget accounting.
     """
 
     scale: float = 0.1
@@ -86,6 +92,8 @@ class ExperimentSettings:
     noise_seed: int = 0
     pg_dsn: str | None = None
     pg_schema: str | None = None
+    pricing_jobs: int = 1
+    whatif_cache: str | None = None
 
     @classmethod
     def from_env(cls) -> "ExperimentSettings":
@@ -104,15 +112,23 @@ class ExperimentSettings:
             noise_seed=int(os.environ.get("REPRO_NOISE_SEED", "0")),
             pg_dsn=os.environ.get("REPRO_PG_DSN") or None,
             pg_schema=os.environ.get("REPRO_PG_SCHEMA") or None,
+            pricing_jobs=max(1, int(os.environ.get("REPRO_PRICING_JOBS", "1"))),
+            whatif_cache=os.environ.get("REPRO_WHATIF_CACHE") or None,
         )
 
     def backend_spec(self) -> BackendSpec | None:
         """The backend selection for grid cells (``None`` = analytic).
 
         ``None`` (rather than an analytic spec) keeps the default path
-        byte-identical with pre-backend archives.
+        byte-identical with pre-backend archives. Concurrent pricing or a
+        persistent cache forces an explicit spec even for the analytic
+        backend — both are non-semantic, so the records stay identical.
         """
-        if self.backend == "analytic":
+        if (
+            self.backend == "analytic"
+            and self.pricing_jobs <= 1
+            and self.whatif_cache is None
+        ):
             return None
         return BackendSpec(
             name=self.backend,
@@ -120,6 +136,8 @@ class ExperimentSettings:
             noise_seed=self.noise_seed,
             pg_dsn=self.pg_dsn,
             pg_schema=self.pg_schema,
+            pricing_jobs=self.pricing_jobs,
+            whatif_cache=self.whatif_cache,
         )
 
     def budgets_for(self, workload_name: str) -> list[int]:
@@ -462,7 +480,11 @@ def robustness(
                 None
                 if noise <= 0.0
                 else BackendSpec(
-                    name="noisy", noise=noise, noise_seed=settings.noise_seed
+                    name="noisy",
+                    noise=noise,
+                    noise_seed=settings.noise_seed,
+                    pricing_jobs=settings.pricing_jobs,
+                    whatif_cache=settings.whatif_cache,
                 )
             )
             record = runner.run_cell(

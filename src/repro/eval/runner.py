@@ -64,6 +64,8 @@ class RunRecord:
         normalized_hits: Mean free lookups owed to relevant-index cache
             normalization (calls a whole-key cache would have counted).
         cost_seconds: Mean wall-clock spent inside the cost model.
+        persistent_hits: Mean pricings recalled from the persistent
+            cross-session what-if cache (0 when no cache is configured).
         budget_policy: The budget discipline the cell ran under.
         backend: The cost backend the cell ran against.
         event_counts: **Summed** session event counts by kind across seeds
@@ -89,6 +91,7 @@ class RunRecord:
     cache_hit_rate: float = 0.0
     normalized_hits: float = 0.0
     cost_seconds: float = 0.0
+    persistent_hits: float = 0.0
     budget_policy: str = "fcfs"
     backend: str = "analytic"
     event_counts: dict[str, int] = field(default_factory=dict)
@@ -229,6 +232,7 @@ class ExperimentRunner:
         hit_rates: list[float] = []
         norm_hits: list[float] = []
         cost_secs: list[float] = []
+        persist_hits: list[float] = []
         event_counts: dict[str, int] = {}
         stop_reasons: list[str] = []
         tuner_name = ""
@@ -250,6 +254,7 @@ class ExperimentRunner:
                 hit_rates.append(outcome.stats.hit_rate)
                 norm_hits.append(float(outcome.stats.normalized_hits))
                 cost_secs.append(outcome.stats.cost_seconds)
+                persist_hits.append(float(outcome.stats.persistent_hits))
         mean, std = mean_and_std(improvements)
 
         def _mean(values: list[float]) -> float:
@@ -267,6 +272,7 @@ class ExperimentRunner:
             cache_hit_rate=_mean(hit_rates),
             normalized_hits=_mean(norm_hits),
             cost_seconds=_mean(cost_secs),
+            persistent_hits=_mean(persist_hits),
             budget_policy=budget_policy or "fcfs",
             backend=backend.name if backend is not None else "analytic",
             event_counts=event_counts,

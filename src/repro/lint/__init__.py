@@ -4,7 +4,7 @@ Two layers guard the invariants the budget curves depend on:
 
 * the **static** layer — an AST rule engine (:mod:`repro.lint.engine`) with
   per-file project-specific rules (:mod:`repro.lint.rules`, REP001–REP007),
-  whole-program flow rules (:mod:`repro.lint.flow`, REP101–REP105) over a
+  whole-program flow rules (:mod:`repro.lint.flow`, REP101–REP106) over a
   linked project index with an incremental summary cache, a per-line
   suppression syntax, text/JSON/SARIF reporters, and a checked-in baseline
   of justified exceptions. Run it as ``python -m repro.lint src/ --flow``.

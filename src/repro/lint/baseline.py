@@ -19,6 +19,11 @@ from repro.lint.findings import Finding
 #: Baseline filename looked up in the working directory by default.
 DEFAULT_BASELINE = "lint-baseline.json"
 
+#: Placeholder justification written by ``--write-baseline`` when no
+#: ``--justification`` is given. Entries still carrying it are reported as
+#: unjustified by normal lint runs — replace it before checking the file in.
+PLACEHOLDER_JUSTIFICATION = "TODO: justify or fix"
+
 
 @dataclass(frozen=True)
 class BaselineEntry:
@@ -75,9 +80,21 @@ class Baseline:
         )
 
     @classmethod
-    def from_findings(cls, findings: list[Finding]) -> "Baseline":
-        """Snapshot findings into a fresh baseline (justifications empty —
-        fill them in by hand before checking the file in)."""
+    def from_findings(
+        cls, findings: list[Finding], justification: str | None = None
+    ) -> "Baseline":
+        """Snapshot findings into a fresh baseline.
+
+        Args:
+            findings: The findings to accept.
+            justification: One-line justification applied to every entry
+                (``--justification`` on the CLI). ``None`` writes the
+                :data:`PLACEHOLDER_JUSTIFICATION` sentinel, which normal
+                lint runs warn about until it is replaced by hand.
+        """
+        text = (
+            PLACEHOLDER_JUSTIFICATION if justification is None else justification
+        )
         return cls(
             [
                 BaselineEntry(
@@ -85,11 +102,20 @@ class Baseline:
                     rule=finding.rule,
                     message=finding.message,
                     line=finding.line,
-                    justification="TODO: justify or fix",
+                    justification=text,
                 )
                 for finding in findings
             ]
         )
+
+    def unjustified(self) -> list[BaselineEntry]:
+        """Entries still carrying the placeholder (or no) justification."""
+        return [
+            entry
+            for entry in self.entries
+            if not entry.justification.strip()
+            or entry.justification == PLACEHOLDER_JUSTIFICATION
+        ]
 
     def split(
         self, findings: list[Finding]

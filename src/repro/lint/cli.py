@@ -38,7 +38,7 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro.lint",
         description=(
             "Budget-safety & determinism static analysis "
-            "(per-file REP001-REP007, whole-program REP101-REP105)"
+            "(per-file REP001-REP007, whole-program REP101-REP106)"
         ),
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
@@ -54,7 +54,7 @@ def _build_parser() -> argparse.ArgumentParser:
                              "are dropped (e.g. fixtures,fixtures_flow)")
     parser.add_argument("--flow", action="store_true",
                         help="also run the whole-program flow rules "
-                             "(REP101-REP105)")
+                             "(REP101-REP106)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for parsing/indexing "
                              "(default 1 = serial)")
@@ -70,6 +70,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="ignore any baseline file")
     parser.add_argument("--write-baseline", default=None, metavar="PATH",
                         help="snapshot current findings into PATH and exit 0")
+    parser.add_argument("--justification", default=None, metavar="TEXT",
+                        help="one-line justification applied to every entry "
+                             "--write-baseline snapshots (default: a "
+                             "placeholder that normal runs warn about until "
+                             "replaced)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the registered rules and exit")
     parser.add_argument("--stats", action="store_true",
@@ -185,12 +190,26 @@ def main(argv: list[str] | None = None) -> int:
         ]
 
     if args.write_baseline is not None:
-        Baseline.from_findings(findings).save(args.write_baseline)
-        print(
-            f"wrote {len(findings)} finding(s) to {args.write_baseline}; "
-            "add a justification to each entry before checking it in"
-        )
+        Baseline.from_findings(
+            findings, justification=args.justification
+        ).save(args.write_baseline)
+        if args.justification is None:
+            print(
+                f"wrote {len(findings)} finding(s) to {args.write_baseline}; "
+                "add a justification to each entry before checking it in"
+            )
+        else:
+            print(
+                f"wrote {len(findings)} finding(s) to {args.write_baseline} "
+                f"(justification: {args.justification!r})"
+            )
         return 0
+    if args.justification is not None:
+        print(
+            "repro.lint: error: --justification requires --write-baseline",
+            file=sys.stderr,
+        )
+        return 2
 
     baseline = Baseline()
     if not args.no_baseline:
@@ -205,6 +224,18 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 return 2
             baseline = Baseline.load(baseline_path)
+
+    unjustified = baseline.unjustified()
+    if unjustified:
+        print(
+            f"repro.lint: warning: {len(unjustified)} baseline entr"
+            f"{'y' if len(unjustified) == 1 else 'ies'} still carr"
+            f"{'ies' if len(unjustified) == 1 else 'y'} the placeholder "
+            "justification — replace it before checking the baseline in:",
+            file=sys.stderr,
+        )
+        for entry in unjustified:
+            print(f"  {entry.path}: {entry.rule}", file=sys.stderr)
 
     new, accepted, stale = baseline.split(findings)
     if args.format == "sarif":

@@ -29,7 +29,7 @@ UNKNOWN_SUPPRESSION_RULE = "REP008"
 
 #: The whole-program flow rules (implemented in :mod:`repro.lint.flow`);
 #: listed here so suppressions naming them are recognized as known.
-FLOW_RULE_IDS = ("REP101", "REP102", "REP103", "REP104", "REP105")
+FLOW_RULE_IDS = ("REP101", "REP102", "REP103", "REP104", "REP105", "REP106")
 
 
 def known_rule_ids() -> frozenset[str]:

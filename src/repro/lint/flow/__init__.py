@@ -1,4 +1,4 @@
-"""Whole-program flow analysis for ``repro.lint`` (rules REP101–REP105).
+"""Whole-program flow analysis for ``repro.lint`` (rules REP101–REP106).
 
 The per-file rules of :mod:`repro.lint.rules` see one module at a time, so
 an invariant violation that spans a call chain — a helper two hops from a
@@ -12,7 +12,7 @@ escapes them. This package closes that gap in three layers:
   functions of file content and serialise to JSON.
 * :mod:`repro.lint.flow.index` — the whole-program link step: module map,
   import resolution, symbol table and call graph over the summaries.
-* :mod:`repro.lint.flow.rules` — the interprocedural rules REP101–REP105
+* :mod:`repro.lint.flow.rules` — the interprocedural rules REP101–REP106
   run over the :class:`~repro.lint.flow.index.ProjectIndex`.
 
 :func:`analyze_paths` is the one-call entry point used by the CLI; the

@@ -1,4 +1,4 @@
-"""The interprocedural rules REP101–REP105.
+"""The interprocedural rules REP101–REP106.
 
 Each rule runs over a linked :class:`~repro.lint.flow.index.ProjectIndex`
 and enforces one cross-module invariant the per-file rules cannot see:
@@ -17,7 +17,11 @@ and enforces one cross-module invariant the per-file rules cannot see:
   ``BudgetExhaustedError`` must re-raise or convert it to a session stop
   event;
 * REP105 — protocol-conformance: classes registered in the backend
-  registry must structurally match the ``CostBackend`` protocol.
+  registry must structurally match the ``CostBackend`` protocol;
+* REP106 — concurrent-pricing: worker threads/processes may be spawned
+  by code that reaches the pricing seam only inside the sanctioned
+  executor (``backend/concurrent.py``) or the experiment pool
+  (``parallel/``) — anywhere else the spawn races budget accounting.
 
 Findings are ordinary :class:`~repro.lint.findings.Finding` records, so
 the per-line suppression syntax and the checked-in baseline apply to flow
@@ -30,6 +34,7 @@ from typing import ClassVar
 
 from repro.lint.findings import Finding
 from repro.lint.flow.index import (
+    METERED_NAMES,
     METERED_SEGMENTS,
     ProjectIndex,
 )
@@ -566,6 +571,85 @@ class ProtocolConformanceRule(FlowRule):
         return findings
 
 
+class ConcurrentPricingRule(FlowRule):
+    """REP106: ad-hoc thread/process fan-out over the pricing seam.
+
+    Concurrent pricing is sanctioned in exactly one place — the
+    speculate-then-commit executor in ``backend/concurrent.py``, which
+    keeps budget charges and the session event stream in canonical
+    serial order — plus the experiment pool under ``parallel/``, which
+    parallelizes whole seeded runs, never individual pricings. A
+    function anywhere else that constructs a ``Thread``/
+    ``ThreadPoolExecutor``/``ProcessPoolExecutor`` *and* can reach a
+    pricing call (the metered backend surface or the private
+    ``_price``/``_price_batch`` helpers, any number of hops deep) races
+    its budget charges against its workers: grant order, event order
+    and the recorded trace become scheduling-dependent. Spawns that
+    never touch pricing (I/O fan-out, timers) are left alone.
+    """
+
+    rule_id = "REP106"
+    title = "concurrent-pricing: thread spawn outside the pricing executor"
+
+    _PRICING_TERMINALS = METERED_NAMES | PRIVATE_PRICING_CALLS
+    _SANCTIONED_SEGMENTS = frozenset({"parallel"})
+
+    def check(self, index: ProjectIndex) -> list[Finding]:
+        findings: list[Finding] = []
+        for gid in sorted(index.functions):
+            function = index.functions[gid]
+            if not function.thread_spawns or _skip(index, gid):
+                continue
+            summary = index.function_files[gid]
+            if self._sanctioned(summary):
+                continue
+            seam = self._reaches_pricing(index, gid)
+            if seam is None:
+                continue
+            for line, render in function.thread_spawns:
+                findings.append(
+                    self.finding(
+                        summary,
+                        line,
+                        0,
+                        f"concurrent-pricing: `{render}` spawns workers in "
+                        f"`{index.function_label(gid)}`, which reaches the "
+                        f"pricing call `{seam}`; route concurrent pricing "
+                        "through repro.backend.concurrent.PricingExecutor "
+                        "(speculate-then-commit keeps budget accounting in "
+                        "serial order)",
+                    )
+                )
+        return findings
+
+    @classmethod
+    def _sanctioned(cls, summary: FileSummary) -> bool:
+        if summary.path.endswith("backend/concurrent.py"):
+            return True
+        return bool(summary.segments & cls._SANCTIONED_SEGMENTS)
+
+    def _reaches_pricing(self, index: ProjectIndex, root: str) -> str | None:
+        """BFS from ``root``: the first reachable pricing call, or ``None``."""
+        queue: list[tuple[str, int]] = [(root, 1)]
+        visited: set[str] = set()
+        while queue:
+            gid, depth = queue.pop(0)
+            if gid in visited or depth > _MAX_PATH_DEPTH:
+                continue
+            visited.add(gid)
+            function = index.functions[gid]
+            for sink in function.sinks:
+                if sink.kind == "private-pricing":
+                    return sink.render
+            for call, targets in index.edges(gid):
+                if call.raw.rsplit(".", 1)[-1] in self._PRICING_TERMINALS:
+                    return f"{call.raw}(...)"
+                for target in targets:
+                    if target not in visited:
+                        queue.append((target, depth + 1))
+        return None
+
+
 #: The flow rules, keyed by rule id.
 FLOW_REGISTRY: dict[str, type[FlowRule]] = {
     rule.rule_id: rule
@@ -575,6 +659,7 @@ FLOW_REGISTRY: dict[str, type[FlowRule]] = {
         PickleSafetyRule,
         ExceptionFlowRule,
         ProtocolConformanceRule,
+        ConcurrentPricingRule,
     )
 }
 
@@ -623,7 +708,7 @@ def analyze_paths(
 
     Args:
         paths: Files and/or directory trees to analyze as one program.
-        select: Flow rule ids to run (``None`` = all of REP101–REP105).
+        select: Flow rule ids to run (``None`` = all of REP101–REP106).
         jobs: Worker processes for the parse/summarize stage.
         cache_path: Incremental cache file; ``None`` disables caching.
 

@@ -27,6 +27,11 @@ EVAL_ONLY_CALLS = frozenset({"true_cost", "true_workload_cost"})
 #: Private pricing helpers that bypass budget accounting.
 PRIVATE_PRICING_CALLS = frozenset({"_price", "_price_batch"})
 
+#: Constructors that spawn worker threads/processes (REP106).
+THREAD_SPAWNERS = frozenset(
+    {"Thread", "ThreadPoolExecutor", "ProcessPoolExecutor"}
+)
+
 #: Exception names that can intercept ``BudgetExhaustedError``.
 BUDGET_CATCHERS = frozenset(
     {"BudgetExhaustedError", "ReproError", "Exception", "BaseException"}
@@ -187,6 +192,7 @@ class FunctionSummary:
     unguarded_calls: tuple[str, ...] = ()  # calls NOT inside a budget-catching try
     handlers: tuple[HandlerSummary, ...] = ()
     unseeded_rng: tuple[tuple[int, str], ...] = ()  # (line, render)
+    thread_spawns: tuple[tuple[int, str], ...] = ()  # (line, render)
     returns_unseeded: bool = False
     returned_calls: tuple[str, ...] = ()  # raw refs whose result is returned
     unpicklable_return: str = ""  # reason, "" = none detected
@@ -274,6 +280,9 @@ class FileSummary:
                     ),
                     unseeded_rng=tuple(
                         (entry[0], entry[1]) for entry in item.get("unseeded_rng", ())
+                    ),
+                    thread_spawns=tuple(
+                        (entry[0], entry[1]) for entry in item.get("thread_spawns", ())
                     ),
                     returns_unseeded=item.get("returns_unseeded", False),
                     returned_calls=tuple(item.get("returned_calls", ())),
@@ -400,6 +409,7 @@ class _FunctionFrame:
         self.handlers: list[HandlerSummary] = []
         self.guarded: set[str] = set()  # raw refs inside budget-catching trys
         self.unseeded: list[tuple[int, str]] = []
+        self.thread_spawns: list[tuple[int, str]] = []
         self.returned_calls: list[str] = []
         self.returns_unseeded = False
         self.unpicklable_return = ""
@@ -421,6 +431,7 @@ class _FunctionFrame:
             sorted({c.raw for c in self.calls} - self.guarded)
         )
         summary.unseeded_rng = tuple(self.unseeded)
+        summary.thread_spawns = tuple(self.thread_spawns)
         summary.returns_unseeded = self.returns_unseeded
         summary.returned_calls = tuple(sorted(set(self.returned_calls)))
         summary.unpicklable_return = self.unpicklable_return
@@ -518,6 +529,10 @@ class _Extractor(ast.NodeVisitor):
                 frame.sinks.append(sink)
             if _is_unseeded_rng(node, self.rng_ctors):
                 frame.unseeded.append((node.lineno, f"{_render(node)}"))
+            if raw.rsplit(".", 1)[-1] in THREAD_SPAWNERS:
+                frame.thread_spawns.append(
+                    (node.lineno, f"{_render(node.func)}(...)")
+                )
         terminal = raw.rsplit(".", 1)[-1]
         if terminal in SPEC_CTORS:
             self._record_spec_site(node, terminal)

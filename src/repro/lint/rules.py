@@ -125,6 +125,16 @@ class BackendBoundaryRule(Rule):
     The rule now runs over ``repro/backend`` itself: the WhatIfOptimizer
     sub-checks stay exempt there (``analytic.py`` legitimately re-exports
     it), and the psycopg sub-checks stay exempt under ``dbms``.
+
+    A third edge guards the concurrent-pricing seam: inside the backend
+    layer only ``backend/concurrent.py`` (the speculate-then-commit
+    ``PricingExecutor``) may pull in ``concurrent.futures`` or spawn
+    ``threading.Thread`` workers. Ad-hoc pools next to pricing code race
+    budget charges against their workers, so grant order and the event
+    stream become scheduling-dependent. ``threading.Lock`` and friends
+    stay legal everywhere (the connection pool serializes on one); the
+    whole-program REP106 catches spawns that reach pricing from *other*
+    layers, where this per-file rule would be too noisy.
     """
 
     rule_id = "REP007"
@@ -145,6 +155,12 @@ class BackendBoundaryRule(Rule):
         """psycopg checks: everywhere except ``repro/backend/dbms``."""
         return "dbms" not in self.ctx.segments
 
+    def _threads_in_scope(self) -> bool:
+        """Thread-machinery checks: the backend layer minus its executor."""
+        return "backend" in self.ctx.segments and not self.ctx.path.endswith(
+            "concurrent.py"
+        )
+
     def visit_Import(self, node: ast.Import) -> None:
         if self._psycopg_in_scope():
             for alias in node.names:
@@ -154,6 +170,16 @@ class BackendBoundaryRule(Rule):
                         "direct `import psycopg` outside repro/backend/dbms; "
                         "go through repro.backend.dbms.require_psycopg so a "
                         "missing driver raises an actionable error",
+                    )
+        if self._threads_in_scope():
+            for alias in node.names:
+                if alias.name.split(".")[0] == "concurrent":
+                    self.report(
+                        node,
+                        "raw `import concurrent.futures` in the backend "
+                        "layer outside backend/concurrent.py; route pricing "
+                        "concurrency through "
+                        "repro.backend.concurrent.PricingExecutor",
                     )
         self.generic_visit(node)
 
@@ -183,6 +209,25 @@ class BackendBoundaryRule(Rule):
                 "go through repro.backend.dbms.require_psycopg so a missing "
                 "driver raises an actionable error",
             )
+        if self._threads_in_scope() and node.module is not None:
+            if node.module.split(".")[0] == "concurrent":
+                self.report(
+                    node,
+                    "raw `from concurrent.futures import ...` in the backend "
+                    "layer outside backend/concurrent.py; route pricing "
+                    "concurrency through "
+                    "repro.backend.concurrent.PricingExecutor",
+                )
+            elif node.module == "threading" and any(
+                alias.name == "Thread" for alias in node.names
+            ):
+                self.report(
+                    node,
+                    "raw `from threading import Thread` in the backend layer "
+                    "outside backend/concurrent.py; route pricing "
+                    "concurrency through "
+                    "repro.backend.concurrent.PricingExecutor",
+                )
         self.generic_visit(node)
 
     def visit_Assign(self, node: ast.Assign) -> None:
@@ -228,6 +273,19 @@ class BackendBoundaryRule(Rule):
                 "direct `psycopg.connect(...)` outside repro/backend/dbms; "
                 "use repro.backend.dbms.ConnectionPool (pooling, retry, "
                 "session setup)",
+            )
+        elif (
+            self._threads_in_scope()
+            and isinstance(func, ast.Attribute)
+            and func.attr == "Thread"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "threading"
+        ):
+            self.report(
+                node,
+                "raw `threading.Thread(...)` in the backend layer outside "
+                "backend/concurrent.py; route pricing concurrency through "
+                "repro.backend.concurrent.PricingExecutor",
             )
         self.generic_visit(node)
 

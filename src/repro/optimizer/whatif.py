@@ -34,6 +34,22 @@ semantics:
   meter / log updates strictly in issue order, so budget accounting and the
   call-log layout are identical for every pool size.
 
+Two further layers speed up pricing itself, again without touching
+semantics:
+
+* **Concurrent pricing** (``pricing_jobs > 1``) — batches run through the
+  speculate-then-commit executor (:mod:`repro.backend.concurrent`):
+  workers only *compute* costs for bounded waves of candidates, then a
+  single serial commit loop replays the policy ``try_charge`` sequence and
+  the cache/log/event commits in issue order, so grants, denials, stats,
+  and the event stream are bit-identical to serial execution for every
+  job count.
+* **Persistent cross-session cache** (``whatif_cache``) — a shard file per
+  backend fingerprint (:mod:`repro.backend.cache`) remembers priced pairs
+  across sessions. A hit replaces the pricing *work* of a call, never its
+  budget charge, cache commit, log entry, or event, so warm runs stay
+  bit-identical to cold ones while re-pricing nothing.
+
 Cheap counters (:class:`WhatIfStats`) expose cache hits/misses, calls saved
 by normalization, and cumulative cost-model wall time so perf regressions
 stay visible in eval reports, the CLI, and the throughput benchmark.
@@ -42,6 +58,7 @@ stay visible in eval reports, the CLI, and the throughput benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from time import perf_counter
 
 from repro.budget.events import EventLog
@@ -93,6 +110,15 @@ class WhatIfStats:
         batched_pairs: Uncached pairs priced by those passes.
         replayed: Evaluations served from a recorded trace instead of the
             cost model (always 0 outside the replay backend).
+        speculative_priced: Pairs resolved (priced or recalled) by the
+            concurrent executor *ahead of* their budget decision (always 0
+            on the serial path).
+        speculation_wasted: Speculatively priced pairs later denied by the
+            budget policy (or cut by a batch limit) and discarded — work
+            spent, but never charged or committed.
+        persistent_hits: Pricings served from the persistent cross-session
+            cache instead of the cost model / DBMS (always 0 when
+            ``whatif_cache`` is off).
     """
 
     cache_hits: int = 0
@@ -103,6 +129,9 @@ class WhatIfStats:
     batch_calls: int = 0
     batched_pairs: int = 0
     replayed: int = 0
+    speculative_priced: int = 0
+    speculation_wasted: int = 0
+    persistent_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -122,6 +151,9 @@ class WhatIfStats:
             "batch_calls": self.batch_calls,
             "batched_pairs": self.batched_pairs,
             "replayed": self.replayed,
+            "speculative_priced": self.speculative_priced,
+            "speculation_wasted": self.speculation_wasted,
+            "persistent_hits": self.persistent_hits,
         }
 
 
@@ -138,6 +170,11 @@ class WhatIfOptimizer:
             subset (default on; ``None`` defers to ``config``).
         pool_size: Worker threads for batched costing (``None`` defers to
             ``config``; 1 prices serially). Never affects results.
+        pricing_jobs: Concurrent pricing workers for the speculate-then-
+            commit batch executor (``None`` defers to ``config``; 1 keeps
+            the serial path). Never affects results.
+        whatif_cache: Persistent cross-session cache directory (``None``
+            defers to ``config``; unset disables). Never affects results.
         config: Engine knobs; defaults to
             :meth:`~repro.config.ReproConfig.from_env` so the
             ``REPRO_NORMALIZE_CACHE`` / ``REPRO_WHATIF_POOL`` environment
@@ -150,6 +187,12 @@ class WhatIfOptimizer:
             reported as ``whatif_call`` events.
     """
 
+    #: Whether batches may run through the concurrent pricing executor.
+    #: Backends whose raw evaluation is not worker-thread-safe (or not worth
+    #: parallelising, e.g. replay's dict lookups) clear this and always
+    #: price serially — results are identical either way.
+    supports_concurrent_pricing = True
+
     def __init__(
         self,
         workload: Workload,
@@ -158,6 +201,8 @@ class WhatIfOptimizer:
         *,
         normalize_cache: bool | None = None,
         pool_size: int | None = None,
+        pricing_jobs: int | None = None,
+        whatif_cache: str | Path | None = None,
         config: ReproConfig | None = None,
         policy: BudgetPolicy | None = None,
         events: EventLog | None = None,
@@ -180,7 +225,19 @@ class WhatIfOptimizer:
         self._pool_size = base.whatif_pool_size if pool_size is None else pool_size
         if self._pool_size < 1:
             raise TuningError(f"pool_size must be at least 1, got {self._pool_size}")
+        self._pricing_jobs = (
+            base.pricing_jobs if pricing_jobs is None else pricing_jobs
+        )
+        if self._pricing_jobs < 1:
+            raise TuningError(
+                f"pricing_jobs must be at least 1, got {self._pricing_jobs}"
+            )
+        self._whatif_cache = (
+            base.whatif_cache if whatif_cache is None else whatif_cache
+        )
+        self._pcache = None
         self._executor = None
+        self._pricing_executor = None
         self._prepared: dict[str, PreparedQuery] = {}
         self._cache: dict[tuple[str, frozenset[Index]], float] = {}
         self._derivation = CostDerivation()
@@ -281,11 +338,31 @@ class WhatIfOptimizer:
             self._prepared[query.qid] = cached
         return cached
 
+    @property
+    def pricing_jobs(self) -> int:
+        """Concurrent pricing workers (1 = serial path)."""
+        return self._pricing_jobs
+
+    @property
+    def whatif_cache(self) -> str | Path | None:
+        """The persistent-cache directory selection, if any."""
+        return self._whatif_cache
+
     def close(self) -> None:
-        """Shut down the batch-pricing thread pool, if one was created."""
+        """Flush the persistent cache and shut down pricing executors.
+
+        Safe to call repeatedly; the optimizer stays usable afterwards
+        (executors and the cache reopen lazily on the next pricing), so
+        evaluation helpers may keep costing after a session is closed.
+        """
         if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor.shutdown()
             self._executor = None
+        if self._pricing_executor is not None:
+            self._pricing_executor.shutdown()
+            self._pricing_executor = None
+        if self._pcache is not None:
+            self._pcache.flush()
 
     # ------------------------------------------------------------------ #
     # key normalization and pricing helpers
@@ -315,12 +392,83 @@ class WhatIfOptimizer:
         """
         return self._model.cost(prepared, key)
 
+    # ------------------------------------------------------------------ #
+    # persistent cross-session cache
+    # ------------------------------------------------------------------ #
+
+    def cache_identity(self) -> dict:
+        """Identity facts keying the persistent cross-session cache.
+
+        Two sessions sharing a shard file must be guaranteed to price every
+        (qid, normalized key) pair to the same float; the fingerprint hashes
+        everything that guarantee depends on. Subclasses extend the mapping
+        with whatever else their pricing reads (noise seed, trace content,
+        DSN/server identity) so any change lands in a fresh shard file.
+        """
+        from repro.backend.cache import workload_fingerprint
+
+        return {
+            "backend": getattr(type(self), "name", "analytic"),
+            "workload": workload_fingerprint(self._workload),
+            "normalize_cache": self._normalize,
+        }
+
+    def _persistent_cache(self):
+        """The shard-backed persistent cache, or ``None`` when disabled."""
+        if self._whatif_cache is None:
+            return None
+        if self._pcache is None:
+            from repro.backend.cache import PersistentWhatIfCache
+            from repro.backend.trace import canonical_key
+
+            self._canonical_key = canonical_key
+            self._pcache = PersistentWhatIfCache(
+                self._whatif_cache, self.cache_identity()
+            )
+        return self._pcache
+
+    def _recall(self, qid: str, key: frozenset[Index]) -> float | None:
+        """A pricing served by the persistent cache, if it has the pair.
+
+        Serving a cost here replaces pricing *work* only — callers still
+        charge budget, commit caches, and emit events exactly as for a
+        fresh evaluation (REP001/REP101 discipline).
+        """
+        pcache = self._persistent_cache()
+        if pcache is None:
+            return None
+        cost = pcache.get(qid, self._canonical_key(key))
+        if cost is not None:
+            self._stats.persistent_hits += 1
+            self._on_recalled(qid, key, cost)
+        return cost
+
+    def _store(self, qid: str, key: frozenset[Index], cost: float) -> None:
+        """Queue a fresh pricing for the persistent cache, when enabled."""
+        pcache = self._persistent_cache()
+        if pcache is not None:
+            pcache.put(qid, self._canonical_key(key), cost)
+
+    def _on_recalled(self, qid: str, key: frozenset[Index], cost: float) -> None:
+        """Hook: a pricing was served from the persistent cache.
+
+        Recording backends mirror recalled costs into their trace so a
+        warm-cache session still writes a complete, replayable trace.
+        """
+
     def _price(self, prepared: PreparedQuery, key: frozenset[Index]) -> float:
-        """One instrumented cost evaluation."""
+        """One instrumented cost evaluation (persistent-cache aware)."""
+        if self._whatif_cache is not None:
+            cost = self._recall(prepared.qid, key)
+            if cost is not None:
+                self._stats.cost_evaluations += 1
+                return cost
         start = perf_counter()
         cost = self._evaluate(prepared, key)
         self._stats.cost_seconds += perf_counter() - start
         self._stats.cost_evaluations += 1
+        if self._whatif_cache is not None:
+            self._store(prepared.qid, key, cost)
         return cost
 
     def _commit_call(self, qid: str, key: frozenset[Index], cost: float) -> None:
@@ -464,6 +612,8 @@ class WhatIfOptimizer:
         Returns:
             Number of counted calls issued.
         """
+        if self._pricing_jobs > 1 and self.supports_concurrent_pricing:
+            return self._prefetch_concurrent(pairs, limit)
         pending: list[tuple[str, PreparedQuery, frozenset[Index]]] = []
         seen: set[tuple[str, frozenset[Index]]] = set()
         for query, configuration in pairs:
@@ -492,6 +642,126 @@ class WhatIfOptimizer:
             self._commit_call(qid, norm, cost)
         return len(pending)
 
+    def _prefetch_concurrent(self, pairs, limit: int | None) -> int:
+        """The ``pricing_jobs > 1`` form of :meth:`whatif_prefetch`.
+
+        Speculate-then-commit: candidates are collected in bounded waves
+        (at most ``jobs × shard_pairs`` pairs each), priced by worker
+        threads that only *compute*, then replayed serially. The policy
+        ``try_charge`` sequence is issued per candidate in pair order —
+        exactly the sequence the serial path issues — and all cache / call
+        log / ``whatif_call`` commits happen after every charge decision,
+        matching the serial path's collect-then-commit shape. Grants,
+        denials, stats counters, and the event stream are therefore
+        bit-identical to serial execution; only wall-clock (and the
+        ``speculative_*`` counters) change. Wasted speculation past a
+        denial or batch limit is bounded by one wave and is discarded,
+        never charged.
+        """
+        if limit is not None and limit <= 0:
+            return 0
+        executor = self._ensure_pricing_executor()
+        wave_size = executor.wave_size
+        pairs_iter = iter(pairs)
+        seen: set[tuple[str, frozenset[Index]]] = set()
+        granted: list[tuple[str, frozenset[Index], float]] = []
+        stop = False
+        while not stop:
+            wave: list[tuple[str, PreparedQuery, frozenset[Index]]] = []
+            for query, configuration in pairs_iter:
+                key = config_key(configuration)
+                if not key:
+                    continue
+                prepared = self.prepared(query)
+                norm = self._norm_key(prepared, key)
+                if not norm:
+                    continue
+                cache_key = (query.qid, norm)
+                if cache_key in self._cache or cache_key in seen:
+                    continue
+                seen.add(cache_key)
+                wave.append((query.qid, prepared, norm))
+                if len(wave) >= wave_size:
+                    break
+            if not wave:
+                break
+            costs = self._price_wave(wave, executor)
+            for position, ((qid, prepared, norm), cost) in enumerate(
+                zip(wave, costs, strict=True)
+            ):
+                if limit is not None and len(granted) >= limit:
+                    self._stats.speculation_wasted += sum(
+                        1 for extra in costs[position:] if extra is not None
+                    )
+                    stop = True
+                    break
+                if not self._policy.try_charge(qid):
+                    if cost is not None:
+                        self._stats.speculation_wasted += 1
+                    continue
+                if cost is None:
+                    # The wave skipped pricing because the policy looked
+                    # globally exhausted, yet this pair was granted (no
+                    # shipped policy does this); price it serially.
+                    cost = self._price(prepared, norm)
+                else:
+                    self._stats.cost_evaluations += 1
+                granted.append((qid, norm, cost))
+        for qid, norm, cost in granted:
+            self._stats.cache_misses += 1
+            self._commit_call(qid, norm, cost)
+        if granted:
+            self._stats.batch_calls += 1
+            self._stats.batched_pairs += len(granted)
+        return len(granted)
+
+    def _price_wave(self, wave, executor) -> list[float | None]:
+        """Speculatively resolve one wave; one cost (or ``None``) per pair.
+
+        ``None`` marks a pair that was deliberately not priced: the policy
+        is globally exhausted (no further call can ever be granted), so the
+        commit loop replays the denials without paying for speculation it
+        could never use. Persistent-cache recalls happen here, on the main
+        thread; only fresh evaluations fan out to workers.
+        """
+        if self._policy.exhausted:
+            return [None] * len(wave)
+        self._stats.speculative_priced += len(wave)
+        costs: list[float | None] = [None] * len(wave)
+        misses = list(range(len(wave)))
+        if self._whatif_cache is not None:
+            misses = []
+            for position, (qid, _, norm) in enumerate(wave):
+                recalled = self._recall(qid, norm)
+                if recalled is None:
+                    misses.append(position)
+                else:
+                    costs[position] = recalled
+        if misses:
+            start = perf_counter()
+            fresh = executor.map_shards(
+                self._price_shard, [wave[position] for position in misses]
+            )
+            self._stats.cost_seconds += perf_counter() - start
+            for position, cost in zip(misses, fresh, strict=True):
+                costs[position] = cost
+                if self._whatif_cache is not None:
+                    qid, _, norm = wave[position]
+                    self._store(qid, norm, cost)
+        return costs
+
+    def _price_shard(
+        self, shard: list[tuple[str, PreparedQuery, frozenset[Index]]]
+    ) -> list[float]:
+        """Price one contiguous shard of a wave (executor worker entry).
+
+        Runs on a worker thread: implementations must only *compute* —
+        no stats, cache, policy, or event mutation belongs here; the
+        commit loop owns all bookkeeping. The postgres backend overrides
+        this to price its shard over one pooled connection.
+        """
+        return [self._evaluate(prepared, norm) for _, prepared, norm in shard]
+
     def _price_batch(
         self, pending: list[tuple[str, PreparedQuery, frozenset[Index]]]
     ) -> list[float]:
@@ -499,24 +769,50 @@ class WhatIfOptimizer:
         self._stats.batch_calls += 1
         self._stats.batched_pairs += len(pending)
         if self._pool_size > 1 and len(pending) > 1:
-            executor = self._ensure_executor()
-            start = perf_counter()
-            costs = list(
-                executor.map(lambda item: self._evaluate(item[1], item[2]), pending)
-            )
-            self._stats.cost_seconds += perf_counter() - start
+            costs: list[float] = [0.0] * len(pending)
+            misses = list(range(len(pending)))
+            if self._whatif_cache is not None:
+                misses = []
+                for position, (qid, _, norm) in enumerate(pending):
+                    recalled = self._recall(qid, norm)
+                    if recalled is None:
+                        misses.append(position)
+                    else:
+                        costs[position] = recalled
+            if misses:
+                executor = self._ensure_executor()
+                start = perf_counter()
+                fresh = executor.map_items(
+                    lambda item: self._evaluate(item[1], item[2]),
+                    [pending[position] for position in misses],
+                )
+                self._stats.cost_seconds += perf_counter() - start
+                for position, cost in zip(misses, fresh, strict=True):
+                    costs[position] = cost
+                    if self._whatif_cache is not None:
+                        qid, _, norm = pending[position]
+                        self._store(qid, norm, cost)
             self._stats.cost_evaluations += len(pending)
             return costs
         return [self._price(prepared, norm) for _, prepared, norm in pending]
 
     def _ensure_executor(self):
+        """The legacy ``whatif_pool_size`` per-item pool (lazy)."""
         if self._executor is None:
-            from concurrent.futures import ThreadPoolExecutor
+            from repro.backend.concurrent import PricingExecutor
 
-            self._executor = ThreadPoolExecutor(
-                max_workers=self._pool_size, thread_name_prefix="whatif"
+            self._executor = PricingExecutor(
+                self._pool_size, thread_name_prefix="whatif"
             )
         return self._executor
+
+    def _ensure_pricing_executor(self):
+        """The speculate-then-commit wave executor (lazy)."""
+        if self._pricing_executor is None:
+            from repro.backend.concurrent import PricingExecutor
+
+            self._pricing_executor = PricingExecutor(self._pricing_jobs)
+        return self._pricing_executor
 
     def whatif_workload_costs(
         self, configurations, *, on_exhausted: str = "raise"

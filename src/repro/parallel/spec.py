@@ -124,4 +124,7 @@ class SeedOutcome:
             metrics["cache_hit_rate"] = self.stats.hit_rate
             metrics["normalized_hits"] = self.stats.normalized_hits
             metrics["cost_seconds"] = self.stats.cost_seconds
+            metrics["persistent_hits"] = self.stats.persistent_hits
+            metrics["speculative_priced"] = self.stats.speculative_priced
+            metrics["speculation_wasted"] = self.stats.speculation_wasted
         return metrics

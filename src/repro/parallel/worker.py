@@ -48,6 +48,10 @@ def run_seed_with_result(spec: CellSpec) -> tuple[SeedOutcome, TuningResult]:
         # always read the counters at aggregation time, i.e. including the
         # uncounted evaluation lookups — keep those totals identical.
         stats = copy.copy(result.optimizer.stats)
+        # Flush the persistent what-if cache (if configured) and release
+        # pricing threads. close() keeps the optimizer usable, so callers
+        # retaining the live result (convergence series) are unaffected.
+        result.optimizer.close()
     outcome = SeedOutcome(
         label=spec.label,
         seed=spec.seed,

@@ -629,3 +629,95 @@ class TestTraceComposition:
             replayer.whatif_cost(
                 toy_workload.queries[0], frozenset(fact_indexes)
             )
+
+
+# --------------------------------------------------------------------- #
+# concurrent pricing over the pool
+# --------------------------------------------------------------------- #
+
+
+class TestConcurrentShards:
+    def test_shards_price_on_distinct_pooled_connections(
+        self, server, toy_workload, fact_indexes
+    ):
+        """Two pricing shards overlap on two distinct pooled connections.
+
+        Each fake connection parks on a barrier inside its first
+        ``EXPLAIN``; the barrier only releases when *both* shard sessions
+        are inside the planner at the same time. A pool that serialized
+        the shards onto one connection would trip the 10s barrier
+        timeout (``BrokenBarrierError``) instead of passing.
+        """
+        import threading
+
+        barrier = threading.Barrier(2, timeout=10.0)
+
+        class SyncCursor(FakeCursor):
+            def execute(self, sql, params=None):
+                conn = self._conn
+                if sql.startswith("EXPLAIN") and not conn.rendezvoused:
+                    conn.rendezvoused = True
+                    barrier.wait()
+                super().execute(sql, params)
+
+        class SyncConnection(FakeConnection):
+            def __init__(self, srv):
+                super().__init__(srv)
+                self.rendezvoused = False
+
+            def cursor(self):
+                return SyncCursor(self)
+
+        backend = build_backend(
+            BackendSpec(
+                name="postgres",
+                pg_dsn="postgresql://fake/db",
+                pricing_jobs=2,
+            ),
+            toy_workload,
+            connector=lambda dsn: SyncConnection(server),
+        )
+        configs = [
+            frozenset(),
+            frozenset(fact_indexes[:1]),
+            frozenset(fact_indexes[1:]),
+            frozenset(fact_indexes),
+        ]
+        pairs = [
+            (query, config)
+            for query in toy_workload.queries[:3]
+            for config in configs
+        ]
+        granted = backend.whatif_prefetch(pairs)
+        assert granted >= 2
+        assert server.connects == 2
+
+    def test_concurrent_costs_match_serial(
+        self, server, toy_workload, fact_indexes
+    ):
+        def costs(jobs):
+            backend = build_backend(
+                BackendSpec(
+                    name="postgres",
+                    pg_dsn="postgresql://fake/db",
+                    pricing_jobs=jobs,
+                ),
+                toy_workload,
+                connector=lambda dsn: FakeConnection(server),
+            )
+            configs = [frozenset(), frozenset(fact_indexes)]
+            pairs = [
+                (query, config)
+                for query in toy_workload.queries
+                for config in configs
+            ]
+            backend.whatif_prefetch(pairs)
+            out = [backend.whatif_cost(q, c) for q, c in pairs]
+            log = backend.call_log
+            backend.close()
+            return out, log
+
+        serial_costs, serial_log = costs(1)
+        pooled_costs, pooled_log = costs(2)
+        assert pooled_costs == serial_costs
+        assert pooled_log == serial_log

@@ -1,0 +1,11 @@
+"""The sanctioned pricing executor module: REP007's thread checks skip it.
+
+This file's *name* is the exemption — ``backend/concurrent.py`` is the
+one place the backend layer may own a thread pool.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def make_pool(jobs):
+    return ThreadPoolExecutor(max_workers=jobs)

@@ -1,0 +1,29 @@
+"""REP007 fixture: raw thread machinery in the backend layer.
+
+Concurrent pricing is sanctioned in exactly one module —
+``backend/concurrent.py``, whose speculate-then-commit executor keeps
+budget charges in serial order. Anywhere else in the backend layer a raw
+pool or worker thread races the budget accounting, so the imports and
+spawn sites themselves are flagged. Locks stay legal: the connection
+pool serializes on one.
+"""
+
+import concurrent.futures  # repro-lint-expect: REP007
+import threading
+
+from concurrent.futures import ThreadPoolExecutor  # repro-lint-expect: REP007
+from threading import Thread  # repro-lint-expect: REP007
+
+
+def spawn_worker(target):
+    return threading.Thread(target=target)  # repro-lint-expect: REP007
+
+
+def suppressed_spawn(target):
+    return threading.Thread(target=target)  # repro-lint: off[REP007]
+
+
+def sanctioned_lock():
+    # Mutual exclusion is not concurrency: the dbms connection pool
+    # guards its free-list with exactly this.
+    return threading.Lock()

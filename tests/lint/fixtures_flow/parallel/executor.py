@@ -1,0 +1,15 @@
+"""The experiment pool: a ``parallel`` segment is sanctioned for REP106.
+
+It parallelizes whole seeded runs — each worker pays for its own pricing
+through the metered surface — so the spawn itself is not a race.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from helpers.pricing import safe_price
+
+
+def run_cells(backend, cells):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        handles = list(pool.map(str, cells))
+    return [safe_price(backend, cell) for cell in cells] + handles

@@ -1,0 +1,50 @@
+"""REP106 fixtures: ad-hoc thread fan-out over the pricing seam.
+
+Spawning workers is only a finding when the spawning function can reach
+a pricing call — directly, through a lambda, or hops deep through a
+helper. Fan-out that never touches pricing stays silent.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from helpers.pricing import safe_price
+
+
+def hasty_parallel_pricing(backend, queries):
+    with ThreadPoolExecutor(max_workers=4) as pool:  # flow-expect: REP106
+        return list(pool.map(lambda q: backend.whatif_cost(q), queries))
+
+
+def _price_one(backend, query):
+    return safe_price(backend, query)
+
+
+def hasty_deep_pricing(backend, queries):
+    pool = ThreadPoolExecutor(max_workers=2)  # flow-expect: REP106
+    try:
+        return [_price_one(backend, query) for query in queries]
+    finally:
+        pool.shutdown()
+
+
+def hasty_thread_pricing(backend, query, results):
+    worker = threading.Thread(  # flow-expect: REP106
+        target=lambda: results.append(backend.whatif_cost(query))
+    )
+    worker.start()
+    return worker
+
+
+def tolerated_pricing_pool(backend, queries):
+    pool = ThreadPoolExecutor(max_workers=2)  # repro-lint: off[REP106]
+    try:
+        return [safe_price(backend, query) for query in queries]
+    finally:
+        pool.shutdown()
+
+
+def innocent_io_fanout(paths):
+    # Fan-out with no path to pricing: not REP106's business.
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        return list(pool.map(len, paths))

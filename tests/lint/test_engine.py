@@ -168,6 +168,62 @@ class TestCli:
             assert rule_id in out
 
 
+class TestBaselineJustification:
+    """The --justification flag and the placeholder-sentinel warning."""
+
+    def _write_dirty(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("def f(xs=[]):\n    return xs\n", encoding="utf-8")
+        return target
+
+    def test_written_baseline_carries_the_justification(self, tmp_path, capsys):
+        target = self._write_dirty(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert (
+            lint_main(
+                [
+                    str(target),
+                    "--write-baseline",
+                    str(baseline),
+                    "--justification",
+                    "mutable default is load-bearing here",
+                ]
+            )
+            == 0
+        )
+        assert "mutable default is load-bearing here" in capsys.readouterr().out
+        entries = json.loads(baseline.read_text(encoding="utf-8"))["entries"]
+        assert all(
+            e["justification"] == "mutable default is load-bearing here"
+            for e in entries
+        )
+        # A justified baseline stays warning-free on the next run.
+        assert lint_main([str(target), "--baseline", str(baseline)]) == 0
+        assert "placeholder" not in capsys.readouterr().err
+
+    def test_placeholder_entries_warn_until_replaced(self, tmp_path, capsys):
+        from repro.lint.baseline import PLACEHOLDER_JUSTIFICATION
+
+        target = self._write_dirty(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([str(target), "--write-baseline", str(baseline)]) == 0
+        entries = json.loads(baseline.read_text(encoding="utf-8"))["entries"]
+        assert all(
+            e["justification"] == PLACEHOLDER_JUSTIFICATION for e in entries
+        )
+        capsys.readouterr()
+        # The findings stay silenced (exit 0) but the run nags on stderr.
+        assert lint_main([str(target), "--baseline", str(baseline)]) == 0
+        assert "placeholder" in capsys.readouterr().err
+
+    def test_justification_without_write_baseline_is_an_error(
+        self, tmp_path, capsys
+    ):
+        target = self._write_dirty(tmp_path)
+        assert lint_main([str(target), "--justification", "why"]) == 2
+        assert "--write-baseline" in capsys.readouterr().err
+
+
 class TestSuppressionEdgeCases:
     """Multi-rule comments, continuation lines, unknown-rule warnings."""
 
@@ -309,7 +365,7 @@ class TestCliFlowSurface:
 
     def test_ignoring_every_flow_rule_skips_flow(self, tmp_path, capsys):
         project = self._write_flow_project(tmp_path)
-        ignore = "REP101,REP102,REP103,REP104,REP105"
+        ignore = "REP101,REP102,REP103,REP104,REP105,REP106"
         assert lint_main(
             [str(project), "--no-baseline", "--flow", "--ignore", ignore]
         ) == 0

@@ -1,4 +1,4 @@
-"""Fixture-driven tests for the whole-program flow rules REP101–REP105.
+"""Fixture-driven tests for the whole-program flow rules REP101–REP106.
 
 The mini project under ``fixtures_flow/`` marks every line it expects a
 flow finding on with a trailing ``# flow-expect: REPxxx`` comment
